@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ATD sampling-factor ablation (Sections 4.1/4.2 + 4.7): sweep the
+ * set-sampling factor and report estimation accuracy against hardware
+ * cost. Full shadow tags (factor 1) give the most faithful
+ * interference classification at ~100x the area; the paper's operating
+ * point samples sparsely and extrapolates.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "accounting/hw_cost.hh"
+#include "core/experiment.hh"
+#include "util/format.hh"
+#include "util/stats.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    const std::vector<int> factors = {1, 8, 32, 128};
+    const std::vector<std::string> benchmarks = {
+        "cholesky", "facesim_medium", "canneal_small", "radix"};
+
+    std::printf("ATD sampling factor: estimation accuracy vs hardware "
+                "cost (16 threads)\n\n");
+
+    sst::TextTable table;
+    table.setHeader({"sampling", "avg |error|", "max |error|",
+                     "ATD bytes/core"});
+    for (const int f : factors) {
+        sst::RunningStat err;
+        for (const auto &label : benchmarks) {
+            const sst::BenchmarkProfile &profile =
+                sst::profileByLabel(label);
+            sst::SimParams params;
+            params.ncores = 16;
+            params.cache.atdSamplingFactor = f;
+            const sst::SpeedupExperiment exp =
+                sst::runSpeedupExperiment(params, profile, 16);
+            err.add(std::fabs(exp.error));
+        }
+        sst::HwCostConfig cfg;
+        cfg.atdSamplingFactor = f;
+        table.addRow({std::to_string(f), sst::fmtPercent(err.mean(), 1),
+                      sst::fmtPercent(err.max(), 1),
+                      std::to_string(sst::computeHwCost(cfg).atdBytes())});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Profile calibration tool: for every benchmark with a parallelism cap,
+ * bisect the cap until the measured 16-thread speedup matches the
+ * paper's Figure 6 value, then print the tuned caps for transfer back
+ * into profile.cc. Maintenance tool, not a paper figure.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "workload/profile.hh"
+
+namespace {
+
+double
+measure(const sst::BenchmarkProfile &profile, const sst::RunResult &base)
+{
+    sst::SimParams params;
+    params.ncores = 16;
+    return sst::runWithBaseline(params, profile, 16, base).actualSpeedup;
+}
+
+} // namespace
+
+int
+main()
+{
+    for (const auto &orig : sst::benchmarkSuite()) {
+        if (orig.parallelismCap <= 0.0) {
+            std::printf("%-22s cap: (none)\n", orig.label().c_str());
+            continue;
+        }
+        sst::BenchmarkProfile p = orig;
+        sst::SimParams params;
+        const sst::RunResult base = sst::runSingleThreaded(params, p);
+
+        double lo = p.paperSpeedup16 * 0.9;
+        double hi = std::min(28.0, p.paperSpeedup16 * 3.2);
+        double best_cap = p.parallelismCap;
+        double best_err = 1e9;
+        for (int it = 0; it < 9; ++it) {
+            const double cap = 0.5 * (lo + hi);
+            p.parallelismCap = cap;
+            const double s = measure(p, base);
+            const double err = s - p.paperSpeedup16;
+            if (std::fabs(err) < best_err) {
+                best_err = std::fabs(err);
+                best_cap = cap;
+            }
+            if (std::fabs(err) < 0.05)
+                break;
+            if (err < 0)
+                lo = cap;
+            else
+                hi = cap;
+        }
+        p.parallelismCap = best_cap;
+        const double s = measure(p, base);
+        std::printf("%-22s cap: %5.2f -> speedup %5.2f (paper %5.2f)\n",
+                    orig.label().c_str(), best_cap, s, orig.paperSpeedup16);
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 1: speedup as a function of the number of cores for
+ * blackscholes, facesim (PARSEC) and cholesky (SPLASH-2), for 1, 2, 4,
+ * 8 and 16 threads.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "util/format.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    const std::vector<std::string> benchmarks = {
+        "blackscholes_medium", "facesim_medium", "cholesky"};
+    const std::vector<int> threads = {1, 2, 4, 8, 16};
+
+    std::printf("Figure 1: speedup vs number of threads/cores\n\n");
+
+    sst::TextTable table;
+    table.setHeader({"benchmark", "1", "2", "4", "8", "16"});
+    for (const auto &label : benchmarks) {
+        const sst::BenchmarkProfile &profile = sst::profileByLabel(label);
+        sst::SimParams params;
+        const sst::RunResult baseline =
+            sst::runSingleThreaded(params, profile);
+
+        std::vector<std::string> row = {label, "1.00"};
+        for (std::size_t i = 1; i < threads.size(); ++i) {
+            sst::SimParams p;
+            p.ncores = threads[i];
+            const sst::SpeedupExperiment exp = sst::runWithBaseline(
+                p, profile, threads[i], baseline);
+            row.push_back(sst::fmtDouble(exp.actualSpeedup, 2));
+        }
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 4 + Section 6 validation: actual vs estimated speedup for every
+ * benchmark at 2, 4, 8 and 16 threads, plus the average absolute error
+ * per thread count. The paper reports 3.0%, 3.4%, 2.8% and 5.1% for 2,
+ * 4, 8 and 16 threads respectively.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "util/format.hh"
+#include "util/stats.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    const std::vector<int> threads = {2, 4, 8, 16};
+
+    std::printf("Figure 4: actual vs estimated speedup "
+                "(error metric: Eq. 6, (S^ - S)/N)\n\n");
+
+    sst::TextTable table;
+    table.setHeader({"benchmark", "S(2)", "S^(2)", "S(4)", "S^(4)", "S(8)",
+                     "S^(8)", "S(16)", "S^(16)", "err16"});
+
+    std::vector<sst::RunningStat> err(threads.size());
+    for (const auto &profile : sst::benchmarkSuite()) {
+        sst::SimParams base;
+        const sst::RunResult baseline =
+            sst::runSingleThreaded(base, profile);
+
+        std::vector<std::string> row = {profile.label()};
+        double err16 = 0.0;
+        for (std::size_t i = 0; i < threads.size(); ++i) {
+            sst::SimParams params;
+            params.ncores = threads[i];
+            const sst::SpeedupExperiment exp = sst::runWithBaseline(
+                params, profile, threads[i], baseline);
+            row.push_back(sst::fmtDouble(exp.actualSpeedup, 2));
+            row.push_back(sst::fmtDouble(exp.estimatedSpeedup, 2));
+            err[i].add(std::fabs(exp.error));
+            if (threads[i] == 16)
+                err16 = exp.error;
+        }
+        row.push_back(sst::fmtPercent(err16, 1));
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    sst::TextTable summary;
+    summary.setHeader({"threads", "avg |error| (measured)",
+                       "avg |error| (paper)"});
+    const std::vector<std::string> paper_err = {"3.0%", "3.4%", "2.8%",
+                                                "5.1%"};
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        summary.addRow({std::to_string(threads[i]),
+                        sst::fmtPercent(err[i].mean(), 1), paper_err[i]});
+    }
+    std::printf("%s\n", summary.render().c_str());
+    return 0;
+}

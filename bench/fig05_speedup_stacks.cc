@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 5: speedup stacks for blackscholes, facesim and cholesky at 2,
+ * 4, 8 and 16 threads, rendered as ASCII stacked bars plus the exact
+ * component table (CSV) for external plotting.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/render.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    const std::vector<std::string> benchmarks = {
+        "blackscholes_medium", "facesim_medium", "cholesky"};
+    const std::vector<int> threads = {2, 4, 8, 16};
+
+    std::printf("Figure 5: speedup stacks as a function of the number of "
+                "threads\n\n");
+
+    for (const auto &label : benchmarks) {
+        const sst::BenchmarkProfile &profile = sst::profileByLabel(label);
+        sst::SimParams base;
+        const sst::RunResult baseline =
+            sst::runSingleThreaded(base, profile);
+
+        std::vector<sst::SpeedupStack> stacks;
+        std::vector<std::string> labels;
+        for (const int n : threads) {
+            sst::SimParams params;
+            params.ncores = n;
+            const sst::SpeedupExperiment exp =
+                sst::runWithBaseline(params, profile, n, baseline);
+            stacks.push_back(exp.stack);
+            labels.push_back(std::to_string(n) + "thr");
+        }
+        std::printf("== %s ==\n%s\n", label.c_str(),
+                    sst::renderStackBars(stacks, labels, 20).c_str());
+        std::printf("%s\n", sst::renderStacksCsv(stacks, labels).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 6: the benchmark classification tree. Every benchmark runs at
+ * 16 threads; rows are grouped good / moderate / poor (>=10x, 5..10x,
+ * <5x) and annotated with the three largest scaling delimiters from the
+ * speedup stack, the suite, and the achieved speedup — next to the
+ * paper's reported speedup for comparison.
+ */
+
+#include <cstdio>
+
+#include "core/classify.hh"
+#include "core/experiment.hh"
+#include "util/format.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    std::printf("Figure 6: classification tree at 16 threads\n\n");
+
+    std::vector<sst::ClassifiedBenchmark> rows;
+    sst::TextTable compare;
+    compare.setHeader({"benchmark", "speedup (measured)",
+                       "speedup (paper)", "class (measured)",
+                       "class (paper)"});
+
+    for (const auto &profile : sst::benchmarkSuite()) {
+        sst::SimParams params;
+        params.ncores = 16;
+        const sst::SpeedupExperiment exp =
+            sst::runSpeedupExperiment(params, profile, 16);
+        rows.push_back(sst::classifyBenchmark(
+            profile.label(), profile.suite, exp.actualSpeedup, exp.stack));
+        compare.addRow(
+            {profile.label(), sst::fmtDouble(exp.actualSpeedup, 2),
+             sst::fmtDouble(profile.paperSpeedup16, 2),
+             sst::scalingClassName(
+                 sst::classifySpeedup(exp.actualSpeedup)),
+             profile.paperClass});
+    }
+
+    std::printf("%s\n", sst::renderClassificationTree(rows).c_str());
+    std::printf("paper cross-check:\n%s\n", compare.render().c_str());
+    return 0;
+}

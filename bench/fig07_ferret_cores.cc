@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 7: ferret speedup as a function of the number of cores with
+ * (a) #threads = #cores and (b) 16 threads on 2/4/8/16 cores
+ * (oversubscription: the OS scheduler time-shares the cores). The paper
+ * observes that spawning more software threads than cores improves
+ * performance, that 16-thread performance saturates around 8 cores, and
+ * that 16 cores perform slightly worse due to scheduler overhead.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "util/format.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    const sst::BenchmarkProfile &profile =
+        sst::profileByLabel("ferret_small");
+    const std::vector<int> cores = {2, 4, 8, 16};
+
+    std::printf("Figure 7: ferret speedup vs number of cores\n\n");
+
+    sst::SimParams base;
+    const sst::RunResult baseline = sst::runSingleThreaded(base, profile);
+    const double ts = static_cast<double>(baseline.executionTime);
+
+    sst::TextTable table;
+    table.setHeader({"cores", "#threads = #cores", "16 threads"});
+    for (const int c : cores) {
+        // (a) threads == cores
+        sst::SimParams pa;
+        pa.ncores = c;
+        const sst::RunResult equal = sst::simulate(pa, profile, c, c);
+        // (b) 16 threads on c cores
+        sst::SimParams pb;
+        pb.ncores = c;
+        const sst::RunResult over = sst::simulate(pb, profile, 16, c);
+        table.addRow({std::to_string(c),
+                      sst::fmtDouble(
+                          ts / static_cast<double>(equal.executionTime),
+                          2),
+                      sst::fmtDouble(
+                          ts / static_cast<double>(over.executionTime),
+                          2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 8: negative, positive and net LLC interference components (in
+ * speedup units) at 16 cores for the benchmarks with a non-negligible
+ * positive interference component: cholesky, lu.cont, canneal (both
+ * inputs), bfs, lu.ncont and needle. In the paper, negative interference
+ * exceeds positive interference for all of them, yielding a net negative
+ * component.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "util/format.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    const std::vector<std::string> benchmarks = {
+        "cholesky", "lu.cont", "canneal_small", "canneal_medium",
+        "bfs",      "lu.ncont", "needle"};
+
+    std::printf("Figure 8: negative, positive and net LLC interference "
+                "components (16 cores)\n\n");
+
+    sst::TextTable table;
+    table.setHeader({"benchmark", "neg cache interference",
+                     "pos cache interference", "net interference"});
+    for (const auto &label : benchmarks) {
+        const sst::BenchmarkProfile &profile = sst::profileByLabel(label);
+        sst::SimParams params;
+        params.ncores = 16;
+        const sst::SpeedupExperiment exp =
+            sst::runSpeedupExperiment(params, profile, 16);
+        table.addRow({label, sst::fmtDouble(exp.stack.negLlc, 3),
+                      sst::fmtDouble(exp.stack.posLlc, 3),
+                      sst::fmtDouble(exp.stack.netNegLlc(), 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Whole-suite sweep: run every benchmark profile at 16 threads and print
+ * measured vs paper speedup, the estimation error and the top stack
+ * components. Not a paper figure by itself, but the working table behind
+ * Figures 4 and 6 — and the tool used to tune profiles.
+ *
+ * Usage: suite_sweep [nthreads]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/classify.hh"
+#include "core/experiment.hh"
+#include "util/format.hh"
+#include "workload/profile.hh"
+
+int
+main(int argc, char **argv)
+{
+    const int nthreads = argc > 1 ? std::atoi(argv[1]) : 16;
+
+    sst::TextTable table;
+    table.setHeader({"benchmark", "paper", "actual", "estimated", "err",
+                     "1st", "2nd", "3rd", "base", "pos", "netneg", "mem",
+                     "spin", "yield"});
+
+    double abs_err_sum = 0.0;
+    int count = 0;
+    for (const auto &profile : sst::benchmarkSuite()) {
+        sst::SimParams params;
+        params.ncores = nthreads;
+        const sst::SpeedupExperiment exp =
+            sst::runSpeedupExperiment(params, profile, nthreads);
+        const auto ranked = sst::rankedDelimiters(exp.stack);
+        auto comp = [&](std::size_t i) {
+            return i < ranked.size()
+                       ? std::string(sst::shortComponentName(ranked[i]))
+                       : std::string("-");
+        };
+        table.addRow({profile.label(),
+                      sst::fmtDouble(profile.paperSpeedup16, 2),
+                      sst::fmtDouble(exp.actualSpeedup, 2),
+                      sst::fmtDouble(exp.estimatedSpeedup, 2),
+                      sst::fmtPercent(exp.error, 1), comp(0), comp(1),
+                      comp(2), sst::fmtDouble(exp.stack.baseSpeedup, 2),
+                      sst::fmtDouble(exp.stack.posLlc, 2),
+                      sst::fmtDouble(exp.stack.netNegLlc(), 2),
+                      sst::fmtDouble(exp.stack.negMem, 2),
+                      sst::fmtDouble(exp.stack.spin, 2),
+                      sst::fmtDouble(exp.stack.yield, 2)});
+        abs_err_sum += std::abs(exp.error);
+        ++count;
+    }
+    std::printf("suite sweep at %d threads\n\n%s\n", nthreads,
+                table.render().c_str());
+    std::printf("average absolute error: %.1f%%\n",
+                abs_err_sum / count * 100.0);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Section 4.7 hardware cost table: bytes per core for the interference
+ * accounting (ATD + ORA + event counters; the paper quotes 952 B from
+ * [7]) and the Tian et al. load table (217 B), total ~1.1 KB per core
+ * and ~18 KB for a 16-core CMP. Also sweeps the ATD sampling factor to
+ * show the cost/accuracy design space (pairs with abl_atd_sampling).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "accounting/hw_cost.hh"
+#include "util/format.hh"
+
+int
+main()
+{
+    std::printf("Section 4.7: accounting hardware cost\n\n");
+
+    const sst::HwCostBreakdown b = sst::computeHwCost();
+    sst::TextTable table;
+    table.setHeader({"structure", "bytes/core", "paper"});
+    table.addRow({"ATD (sampled)", std::to_string(b.atdBytes()), "-"});
+    table.addRow({"ORA", std::to_string(b.oraBytes()), "-"});
+    table.addRow({"event counters", std::to_string(b.counterBytes()),
+                  "-"});
+    table.addRow({"interference accounting subtotal",
+                  std::to_string(b.interferenceBytesPerCore()), "952"});
+    table.addRow({"spin detection load table",
+                  std::to_string(b.spinTableBytes()), "217"});
+    table.addRule();
+    table.addRow({"total per core",
+                  std::to_string(b.totalBytesPerCore()), "~1.1KB"});
+    table.addRow({"total 16-core CMP",
+                  std::to_string(b.totalBytesChip(16)), "~18KB"});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("ATD sampling factor sweep (cost side of the "
+                "accuracy/cost trade-off):\n\n");
+    sst::TextTable sweep;
+    sweep.setHeader({"sampling factor", "monitored sets", "ATD bytes/core",
+                     "total bytes/core"});
+    for (const int f : std::vector<int>{8, 16, 32, 64, 128, 256}) {
+        sst::HwCostConfig cfg;
+        cfg.atdSamplingFactor = f;
+        const sst::HwCostBreakdown c = sst::computeHwCost(cfg);
+        sweep.addRow({std::to_string(f), std::to_string(2048 / f),
+                      std::to_string(c.atdBytes()),
+                      std::to_string(c.totalBytesPerCore())});
+    }
+    std::printf("%s\n", sweep.render().c_str());
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * LLC-performance study (the paper's Section 7.3 use case): sweep the
+ * shared LLC size for one benchmark and watch the interference
+ * components move. Negative interference (capacity conflicts between
+ * threads) shrinks as the cache grows; positive interference (threads
+ * prefetching shared data for each other) is a program property and
+ * stays put — so beyond some size, sharing the cache is a net win.
+ *
+ * Usage: llc_study [benchmark_label]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "util/format.hh"
+#include "workload/profile.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string label = argc > 1 ? argv[1] : "cholesky";
+    const sst::BenchmarkProfile &profile = sst::profileByLabel(label);
+
+    std::printf("LLC study for %s at 16 threads\n\n", label.c_str());
+
+    sst::TextTable table;
+    table.setHeader({"LLC", "actual speedup", "neg LLC", "pos LLC",
+                     "net", "memory", "verdict"});
+    for (const std::uint64_t mb : std::vector<std::uint64_t>{1, 2, 4, 8}) {
+        sst::SimParams params;
+        params.ncores = 16;
+        params.cache.llcBytes = mb * 1024 * 1024;
+        const sst::SpeedupExperiment exp =
+            sst::runSpeedupExperiment(params, profile, 16);
+        const double net = exp.stack.netNegLlc();
+        table.addRow({std::to_string(mb) + "MB",
+                      sst::fmtDouble(exp.actualSpeedup, 2),
+                      sst::fmtDouble(exp.stack.negLlc, 2),
+                      sst::fmtDouble(exp.stack.posLlc, 2),
+                      sst::fmtDouble(net, 2),
+                      sst::fmtDouble(exp.stack.negMem, 2),
+                      net > 0.1 ? "sharing hurts"
+                                : (net < -0.1 ? "sharing helps"
+                                              : "neutral")});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Raw per-thread event counters. The `hardware-visible` group contains
+ * exactly what the paper's cycle accounting architecture can measure on
+ * real silicon (Section 4): sampled ATD classifications, stall cycles,
+ * wait-cycle attributions, detector outputs and OS yield bookkeeping.
+ * The `ground truth` group contains simulator-internal measurements that
+ * real hardware could NOT observe; they are used only for validation and
+ * tests, never for building the estimated speedup stack.
+ */
+
+#ifndef SST_ACCOUNTING_COUNTERS_HH
+#define SST_ACCOUNTING_COUNTERS_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace sst {
+
+/** Raw accounting state of one thread (== one core when not
+ *  oversubscribed). */
+struct ThreadCounters
+{
+    // ---- hardware-visible raw events -----------------------------------
+    std::uint64_t instructions = 0;     ///< committed program instructions
+    std::uint64_t spinInstructions = 0; ///< instructions in spin loops
+
+    Cycles llcLoadMissStall = 0;   ///< cycles stalled on LLC load misses
+    std::uint64_t llcLoadMisses = 0;
+
+    Cycles negLlcSampledStall = 0; ///< stalls on *sampled* inter-thread
+                                   ///< load misses (to be extrapolated)
+    std::uint64_t interThreadMissesSampled = 0;
+    std::uint64_t interThreadHitsSampled = 0;
+
+    std::uint64_t llcAccesses = 0;       ///< extrapolation numerator
+    std::uint64_t atdSampledAccesses = 0; ///< extrapolation denominator
+
+    /**
+     * Memory interference attributions, gathered on *sampled* ATD sets
+     * for misses NOT classified inter-thread, to be extrapolated by the
+     * measured sampling factor. Partitioning by the sampled-set
+     * classification keeps the negative-LLC and memory components
+     * disjoint: an inter-thread miss would not exist with a private LLC,
+     * so its whole penalty (including queueing) is cache interference;
+     * only misses that would also occur privately contribute their
+     * waiting-for-other-cores cycles to memory interference.
+     */
+    Cycles busWaitOther = 0;       ///< bus conflicts (sampled intra)
+    Cycles bankWaitOther = 0;      ///< bank conflicts (sampled intra)
+    Cycles pageConflictOther = 0;  ///< page conflicts (sampled intra)
+
+    Cycles spinDetectedTian = 0;   ///< Tian et al. detector output
+    Cycles spinDetectedLi = 0;     ///< Li et al. detector output (ablation)
+
+    Cycles yieldCycles = 0;        ///< OS: time scheduled out on sync waits
+
+    std::uint64_t coherencyMisses = 0; ///< L1 invalid-tag re-references
+
+    // ---- simulator ground truth (validation only) -------------------------
+    Cycles gtLockSpin = 0;         ///< exact cycles spent spinning on locks
+    Cycles gtBarrierSpin = 0;      ///< exact cycles spinning on barriers
+    Cycles gtLockYield = 0;        ///< exact descheduled time on locks
+    Cycles gtBarrierYield = 0;     ///< exact descheduled time on barriers
+    Cycles gtMemWaitOther = 0;     ///< exact memory wait behind other cores
+    Cycles finishTime = 0;         ///< cycle this thread completed
+
+    Cycles gtSpin() const { return gtLockSpin + gtBarrierSpin; }
+    Cycles gtYield() const { return gtLockYield + gtBarrierYield; }
+};
+
+} // namespace sst
+
+#endif // SST_ACCOUNTING_COUNTERS_HH

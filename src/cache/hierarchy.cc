@@ -1,0 +1,231 @@
+#include "hierarchy.hh"
+
+#include "util/logging.hh"
+
+namespace sst {
+
+namespace {
+
+std::uint32_t
+bit(CoreId core)
+{
+    return 1u << static_cast<unsigned>(core);
+}
+
+} // namespace
+
+CacheHierarchy::CacheHierarchy(int ncores, const CacheParams &params)
+    : ncores_(ncores), params_(params),
+      llc_(params.llcBytes, params.llcWays)
+{
+    sstAssert(ncores >= 1 && ncores <= 32,
+              "CacheHierarchy supports 1..32 cores");
+    l1s_.reserve(static_cast<std::size_t>(ncores));
+    for (int c = 0; c < ncores; ++c) {
+        l1s_.emplace_back(params.l1Bytes, params.l1Ways);
+        atds_.push_back(std::make_unique<Atd>(
+            params.llcBytes, params.llcWays, params.atdSamplingFactor));
+        if (params.oracleAtds) {
+            oracleAtds_.push_back(std::make_unique<Atd>(
+                params.llcBytes, params.llcWays, 1));
+        }
+    }
+    stats_.resize(static_cast<std::size_t>(ncores));
+}
+
+void
+CacheHierarchy::invalidateOtherL1s(Addr line, CoreId keeper, TagEntry &dir)
+{
+    for (int c = 0; c < ncores_; ++c) {
+        if (c == keeper || !(dir.sharers & bit(c)))
+            continue;
+        if (l1s_[static_cast<std::size_t>(c)].invalidate(line,
+                                                         /*keep_tag=*/true))
+            ++stats_[static_cast<std::size_t>(c)].invalidationsReceived;
+        dir.sharers &= ~bit(c);
+    }
+    if (dir.dirtyOwner != kInvalidId && dir.dirtyOwner != keeper)
+        dir.dirtyOwner = kInvalidId;
+}
+
+void
+CacheHierarchy::insertIntoL1(CoreId core, Addr line, bool dirty,
+                             TagEntry &dir_entry)
+{
+    auto &l1 = l1s_[static_cast<std::size_t>(core)];
+    TagEntry victim;
+    TagEntry &e = l1.insert(line, &victim);
+    e.dirty = dirty;
+    (void)dir_entry;
+
+    if (victim.valid && victim.line != line) {
+        // Silent drop for clean lines; dirty lines write back into the
+        // LLC, which then owns the only up-to-date copy.
+        if (TagEntry *vdir = llc_.findValid(victim.line)) {
+            vdir->sharers &= ~bit(core);
+            if (victim.dirty) {
+                vdir->dirty = true;
+                if (vdir->dirtyOwner == core)
+                    vdir->dirtyOwner = kInvalidId;
+            }
+        }
+    }
+}
+
+AccessOutcome
+CacheHierarchy::access(CoreId core, Addr addr, bool is_write)
+{
+    AccessOutcome out;
+    const Addr line = lineNum(addr);
+    out.line = line;
+
+    auto &st = stats_[static_cast<std::size_t>(core)];
+    auto &l1 = l1s_[static_cast<std::size_t>(core)];
+    ++st.l1Accesses;
+
+    // ---- L1 hit path ----------------------------------------------------
+    if (TagEntry *e = l1.findValid(line)) {
+        out.l1Hit = true;
+        ++st.l1Hits;
+        l1.touch(*e);
+        if (is_write && !e->dirty) {
+            // Upgrade: gain exclusivity by invalidating other copies.
+            if (TagEntry *dir = llc_.findValid(line)) {
+                invalidateOtherL1s(line, core, *dir);
+                dir->sharers = bit(core);
+                dir->dirtyOwner = core;
+                dir->dirty = true;
+            }
+            e->dirty = true;
+        }
+        return out;
+    }
+
+    // ---- L1 miss: classify a possible coherency miss ---------------------
+    if (TagEntry *stale = l1.findAny(line)) {
+        if (stale->coherenceInvalidated) {
+            out.coherencyMiss = true;
+            ++st.coherencyMisses;
+        }
+    }
+
+    // ---- shared LLC access ------------------------------------------------
+    ++st.llcAccesses;
+    const Atd::Probe probe = atds_[static_cast<std::size_t>(core)]->access(
+        line);
+    out.atdSampled = probe.sampled;
+    out.atdHit = probe.hit;
+    Atd::Probe oracle;
+    if (params_.oracleAtds) {
+        oracle = oracleAtds_[static_cast<std::size_t>(core)]->access(line);
+    }
+
+    if (TagEntry *dir = llc_.findValid(line)) {
+        out.llcHit = true;
+        ++st.llcHits;
+        llc_.touch(*dir);
+
+        // Dirty copy lives in another core's L1: cache-to-cache transfer
+        // through the LLC (M -> S on a read, M -> I on a write).
+        if (dir->dirtyOwner != kInvalidId && dir->dirtyOwner != core) {
+            out.dirtyInOtherL1 = true;
+            auto &owner_l1 =
+                l1s_[static_cast<std::size_t>(dir->dirtyOwner)];
+            if (is_write) {
+                if (owner_l1.invalidate(line, /*keep_tag=*/true)) {
+                    ++stats_[static_cast<std::size_t>(dir->dirtyOwner)]
+                          .invalidationsReceived;
+                }
+                dir->sharers &= ~bit(dir->dirtyOwner);
+            } else if (TagEntry *oe = owner_l1.findValid(line)) {
+                oe->dirty = false; // downgrade to shared
+            }
+            dir->dirty = true;
+            dir->dirtyOwner = kInvalidId;
+        }
+
+        if (is_write) {
+            invalidateOtherL1s(line, core, *dir);
+            dir->sharers = bit(core);
+            dir->dirtyOwner = core;
+            dir->dirty = true;
+        } else {
+            dir->sharers |= bit(core);
+        }
+
+        if (probe.sampled && !probe.hit) {
+            out.interThreadHit = true;
+            ++st.interThreadHitsSampled;
+        }
+        if (params_.oracleAtds && !oracle.hit) {
+            out.oracleInterThreadHit = true;
+            ++st.oracleInterThreadHits;
+        }
+        insertIntoL1(core, line, is_write, *dir);
+        return out;
+    }
+
+    // ---- LLC miss: fill from DRAM -----------------------------------------
+    ++st.llcMisses;
+    if (probe.sampled && probe.hit) {
+        out.interThreadMiss = true;
+        ++st.interThreadMissesSampled;
+    }
+    if (params_.oracleAtds && oracle.hit) {
+        out.oracleInterThreadMiss = true;
+        ++st.oracleInterThreadMisses;
+    }
+
+    TagEntry victim;
+    TagEntry &dir = llc_.insert(line, &victim);
+    if (victim.valid) {
+        // Inclusive LLC: back-invalidate every L1 copy of the victim.
+        for (int c = 0; c < ncores_; ++c) {
+            if (victim.sharers & bit(c)) {
+                l1s_[static_cast<std::size_t>(c)].invalidate(
+                    victim.line, /*keep_tag=*/false);
+            }
+        }
+        if (victim.dirty || victim.dirtyOwner != kInvalidId) {
+            out.victimWriteback = true;
+            out.victimLine = victim.line;
+            ++st.writebacks;
+        }
+    }
+    dir.sharers = bit(core);
+    dir.dirtyOwner = is_write ? core : kInvalidId;
+    dir.dirty = is_write;
+    dir.filledBy = core;
+    insertIntoL1(core, line, is_write, dir);
+    return out;
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    for (auto &st : stats_)
+        st = CacheStats{};
+}
+
+void
+CacheHierarchy::flushL1(CoreId core)
+{
+    auto &l1 = l1s_[static_cast<std::size_t>(core)];
+    for (TagEntry &e : l1.raw()) {
+        if (!e.valid) {
+            e = TagEntry{};
+            continue;
+        }
+        if (TagEntry *vdir = llc_.findValid(e.line)) {
+            vdir->sharers &= ~bit(core);
+            if (e.dirty) {
+                vdir->dirty = true;
+                if (vdir->dirtyOwner == core)
+                    vdir->dirtyOwner = kInvalidId;
+            }
+        }
+        e = TagEntry{};
+    }
+}
+
+} // namespace sst

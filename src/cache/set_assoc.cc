@@ -1,0 +1,158 @@
+#include "set_assoc.hh"
+
+#include "util/logging.hh"
+
+namespace sst {
+
+namespace {
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+SetAssocArray::SetAssocArray(std::uint64_t size_bytes, int ways)
+    : sets_(static_cast<int>(size_bytes / kLineBytes /
+                             static_cast<std::uint64_t>(ways))),
+      ways_(ways)
+{
+    sstAssert(ways_ > 0, "cache needs at least one way");
+    sstAssert(sets_ > 0, "cache needs at least one set");
+    sstAssert(isPow2(static_cast<std::uint64_t>(sets_)),
+              "cache set count must be a power of two");
+    entries_.resize(static_cast<std::size_t>(sets_) *
+                    static_cast<std::size_t>(ways_));
+}
+
+SetAssocArray::SetAssocArray(int sets, int ways, bool)
+    : sets_(sets), ways_(ways)
+{
+    sstAssert(ways_ > 0, "cache needs at least one way");
+    sstAssert(sets_ > 0, "cache needs at least one set");
+    sstAssert(isPow2(static_cast<std::uint64_t>(sets_)),
+              "cache set count must be a power of two");
+    entries_.resize(static_cast<std::size_t>(sets_) *
+                    static_cast<std::size_t>(ways_));
+}
+
+SetAssocArray
+SetAssocArray::fromSets(int sets, int ways)
+{
+    return SetAssocArray(sets, ways, true);
+}
+
+TagEntry *
+SetAssocArray::entryAt(std::uint64_t set, int way)
+{
+    return &entries_[set * static_cast<std::uint64_t>(ways_) +
+                     static_cast<std::uint64_t>(way)];
+}
+
+TagEntry *
+SetAssocArray::findValid(Addr line)
+{
+    const std::uint64_t set = setIndex(line);
+    for (int w = 0; w < ways_; ++w) {
+        TagEntry *e = entryAt(set, w);
+        if (e->valid && e->line == line)
+            return e;
+    }
+    return nullptr;
+}
+
+TagEntry *
+SetAssocArray::findAny(Addr line)
+{
+    const std::uint64_t set = setIndex(line);
+    for (int w = 0; w < ways_; ++w) {
+        TagEntry *e = entryAt(set, w);
+        if ((e->valid || e->coherenceInvalidated) && e->line == line)
+            return e;
+    }
+    return nullptr;
+}
+
+void
+SetAssocArray::touch(TagEntry &entry)
+{
+    entry.lruStamp = ++stamp_;
+}
+
+TagEntry &
+SetAssocArray::insert(Addr line, TagEntry *victim)
+{
+    const std::uint64_t set = setIndex(line);
+
+    // Prefer reusing a resident-but-invalid entry for the same line, then
+    // any free way, then the LRU way.
+    TagEntry *target = nullptr;
+    for (int w = 0; w < ways_; ++w) {
+        TagEntry *e = entryAt(set, w);
+        if (e->line == line && (e->valid || e->coherenceInvalidated)) {
+            target = e;
+            break;
+        }
+    }
+    if (!target) {
+        for (int w = 0; w < ways_; ++w) {
+            TagEntry *e = entryAt(set, w);
+            if (!e->valid && !e->coherenceInvalidated) {
+                target = e;
+                break;
+            }
+        }
+    }
+    if (!target) {
+        target = entryAt(set, 0);
+        for (int w = 1; w < ways_; ++w) {
+            TagEntry *e = entryAt(set, w);
+            if (e->lruStamp < target->lruStamp)
+                target = e;
+        }
+    }
+
+    if (victim) {
+        *victim = *target;
+        // A coherence-invalidated resident tag is not a live victim.
+        if (!target->valid)
+            victim->valid = false;
+    }
+
+    *target = TagEntry{};
+    target->line = line;
+    target->valid = true;
+    target->lruStamp = ++stamp_;
+    return *target;
+}
+
+bool
+SetAssocArray::invalidate(Addr line, bool keep_tag)
+{
+    TagEntry *e = findValid(line);
+    if (!e)
+        return false;
+    if (keep_tag) {
+        e->valid = false;
+        e->coherenceInvalidated = true;
+        e->dirty = false;
+    } else {
+        *e = TagEntry{};
+    }
+    return true;
+}
+
+std::uint64_t
+SetAssocArray::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries_) {
+        if (e.valid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace sst

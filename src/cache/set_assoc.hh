@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Generic set-associative tag array with true-LRU replacement. Used for
+ * the private L1 caches, the shared LLC and the per-core auxiliary tag
+ * directories (ATDs). Tracks tags only — the toolkit never models data
+ * values, just presence and status bits, like a simulator tag pipeline.
+ */
+
+#ifndef SST_CACHE_SET_ASSOC_HH
+#define SST_CACHE_SET_ASSOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace sst {
+
+/**
+ * One cached line's bookkeeping. `valid` distinguishes live lines;
+ * `coherenceInvalidated` marks tags that were invalidated by a coherence
+ * upgrade and are still resident in the tag array — re-references to such
+ * tags are coherency misses (Section 4.5 of the paper).
+ */
+struct TagEntry
+{
+    Addr line = 0;         ///< full line number (tag + set, unambiguous)
+    bool valid = false;
+    bool dirty = false;
+    bool coherenceInvalidated = false;
+    std::uint64_t lruStamp = 0;
+    std::uint32_t sharers = 0; ///< LLC directory: bitmap of L1 copies
+    CoreId dirtyOwner = kInvalidId; ///< LLC directory: core with M copy
+    CoreId filledBy = kInvalidId;   ///< core whose miss brought the line
+};
+
+/**
+ * Set-associative tag array. Geometry is (sets x ways); lines are mapped
+ * by line number modulo the set count. LRU uses a global access stamp.
+ */
+class SetAssocArray
+{
+  public:
+    /**
+     * @param size_bytes total capacity in bytes
+     * @param ways associativity
+     */
+    SetAssocArray(std::uint64_t size_bytes, int ways);
+
+    /** Construct directly from a set count and associativity. */
+    static SetAssocArray fromSets(int sets, int ways);
+
+    /** Set index of a line number. */
+    std::uint64_t
+    setIndex(Addr line) const
+    {
+        return line & (static_cast<std::uint64_t>(sets_) - 1);
+    }
+
+    /** Find a valid entry for @p line; nullptr on miss. */
+    TagEntry *findValid(Addr line);
+
+    /** Find any resident entry (valid or coherence-invalidated). */
+    TagEntry *findAny(Addr line);
+
+    /** Update the LRU stamp of @p entry (call on every hit). */
+    void touch(TagEntry &entry);
+
+    /**
+     * Insert @p line, evicting the LRU way of its set if needed.
+     * @param[out] victim filled with the evicted entry (valid == true only
+     *             if a live line was displaced)
+     * @return reference to the (re)initialized entry
+     */
+    TagEntry &insert(Addr line, TagEntry *victim = nullptr);
+
+    /**
+     * Invalidate @p line if present.
+     * @param keep_tag keep the tag resident and mark it
+     *        coherenceInvalidated (used by the L1s for coherency-miss
+     *        detection); otherwise the entry is fully cleared
+     * @return true if the line was valid
+     */
+    bool invalidate(Addr line, bool keep_tag = false);
+
+    int sets() const { return sets_; }
+    int ways() const { return ways_; }
+
+    /** Number of currently valid entries (test/diagnostic helper). */
+    std::uint64_t validCount() const;
+
+    /** Raw entry storage (used for whole-cache operations like flushes). */
+    std::vector<TagEntry> &raw() { return entries_; }
+    const std::vector<TagEntry> &raw() const { return entries_; }
+
+  private:
+    SetAssocArray(int sets, int ways, bool);
+
+    TagEntry *entryAt(std::uint64_t set, int way);
+
+    int sets_;
+    int ways_;
+    std::vector<TagEntry> entries_;
+    std::uint64_t stamp_ = 0;
+};
+
+} // namespace sst
+
+#endif // SST_CACHE_SET_ASSOC_HH

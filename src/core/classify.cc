@@ -1,0 +1,149 @@
+#include "classify.hh"
+
+#include <algorithm>
+
+#include "util/format.hh"
+
+namespace sst {
+
+const char *
+scalingClassName(ScalingClass c)
+{
+    switch (c) {
+      case ScalingClass::kGood:
+        return "good";
+      case ScalingClass::kModerate:
+        return "moderate";
+      case ScalingClass::kPoor:
+        return "poor";
+    }
+    return "?";
+}
+
+ScalingClass
+classifySpeedup(double speedup)
+{
+    if (speedup >= 10.0)
+        return ScalingClass::kGood;
+    if (speedup < 5.0)
+        return ScalingClass::kPoor;
+    return ScalingClass::kModerate;
+}
+
+const char *
+shortComponentName(StackComponent comp)
+{
+    switch (comp) {
+      case StackComponent::kNegLlcNet:
+        return "cache";
+      case StackComponent::kNegMem:
+        return "memory";
+      case StackComponent::kSpin:
+        return "spinning";
+      case StackComponent::kYield:
+        return "yielding";
+      case StackComponent::kImbalance:
+        return "imbalance";
+      case StackComponent::kCoherency:
+        return "coherency";
+      case StackComponent::kBase:
+        return "base";
+      case StackComponent::kPosLlc:
+        return "positive";
+    }
+    return "?";
+}
+
+std::vector<StackComponent>
+rankedDelimiters(const SpeedupStack &stack, double negligible)
+{
+    struct Item
+    {
+        StackComponent comp;
+        double value;
+    };
+    // The "cache" delimiter is the gross negative LLC interference: that
+    // is the speedup recoverable by removing all negative cache sharing
+    // (Section 7.1).
+    std::vector<Item> items = {
+        {StackComponent::kNegLlcNet, stack.negLlc},
+        {StackComponent::kNegMem, stack.negMem},
+        {StackComponent::kSpin, stack.spin},
+        {StackComponent::kYield, stack.yield},
+        {StackComponent::kImbalance, stack.imbalance},
+        {StackComponent::kCoherency, stack.coherency},
+    };
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Item &a, const Item &b) {
+                         return a.value > b.value;
+                     });
+    std::vector<StackComponent> out;
+    for (const Item &it : items) {
+        if (it.value >= negligible)
+            out.push_back(it.comp);
+    }
+    return out;
+}
+
+ClassifiedBenchmark
+classifyBenchmark(const std::string &label, const std::string &suite,
+                  double actual_speedup, const SpeedupStack &stack,
+                  double negligible)
+{
+    ClassifiedBenchmark row;
+    row.label = label;
+    row.suite = suite;
+    row.speedup = actual_speedup;
+    row.scaling = classifySpeedup(actual_speedup);
+    row.delimiters = rankedDelimiters(stack, negligible);
+    if (row.delimiters.size() > 3)
+        row.delimiters.resize(3);
+    return row;
+}
+
+std::string
+renderClassificationTree(const std::vector<ClassifiedBenchmark> &rows)
+{
+    std::vector<ClassifiedBenchmark> sorted = rows;
+    auto rank = [](ScalingClass c) {
+        switch (c) {
+          case ScalingClass::kGood:
+            return 0;
+          case ScalingClass::kModerate:
+            return 1;
+          case ScalingClass::kPoor:
+            return 2;
+        }
+        return 3;
+    };
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&](const ClassifiedBenchmark &a,
+                         const ClassifiedBenchmark &b) {
+                         if (rank(a.scaling) != rank(b.scaling))
+                             return rank(a.scaling) < rank(b.scaling);
+                         return a.speedup > b.speedup;
+                     });
+
+    TextTable table;
+    table.setHeader({"scaling", "1st comp", "2nd comp", "3rd comp",
+                     "benchmark", "suite", "speedup"});
+    ScalingClass prev = ScalingClass::kGood;
+    bool first = true;
+    for (const auto &row : sorted) {
+        if (!first && row.scaling != prev)
+            table.addRule();
+        first = false;
+        prev = row.scaling;
+        auto comp = [&](std::size_t i) {
+            return i < row.delimiters.size()
+                       ? std::string(shortComponentName(row.delimiters[i]))
+                       : std::string("-");
+        };
+        table.addRow({scalingClassName(row.scaling), comp(0), comp(1),
+                      comp(2), row.label, row.suite,
+                      fmtDouble(row.speedup, 2)});
+    }
+    return table.render();
+}
+
+} // namespace sst

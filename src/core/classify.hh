@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Benchmark classification from speedup stacks (Section 7.2, Figure 6):
+ * scaling category (good >= 10x, poor < 5x at 16 threads, moderate
+ * in between), and the largest / second / third scaling delimiters with
+ * a negligibility threshold. Includes the tree-style text rendering.
+ */
+
+#ifndef SST_CORE_CLASSIFY_HH
+#define SST_CORE_CLASSIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "core/speedup_stack.hh"
+
+namespace sst {
+
+/** Scaling category of Figure 6. */
+enum class ScalingClass { kGood, kModerate, kPoor };
+
+const char *scalingClassName(ScalingClass c);
+
+/** Category from the achieved speedup (paper thresholds: 10x and 5x). */
+ScalingClass classifySpeedup(double speedup);
+
+/**
+ * The overhead components of @p stack in decreasing order of magnitude,
+ * dropping components below @p negligible speedup units. Only true
+ * scaling delimiters are ranked (base speedup and positive interference
+ * are excluded; LLC interference ranks by its *gross* negative value,
+ * matching how the paper discusses "cache" as a delimiter).
+ */
+std::vector<StackComponent> rankedDelimiters(const SpeedupStack &stack,
+                                             double negligible = 0.25);
+
+/** One row of the classification tree. */
+struct ClassifiedBenchmark
+{
+    std::string label;
+    std::string suite;
+    double speedup = 0.0;          ///< achieved speedup
+    ScalingClass scaling = ScalingClass::kPoor;
+    std::vector<StackComponent> delimiters; ///< up to 3, largest first
+};
+
+/** Classify one benchmark's 16-thread result. */
+ClassifiedBenchmark classifyBenchmark(const std::string &label,
+                                      const std::string &suite,
+                                      double actual_speedup,
+                                      const SpeedupStack &stack,
+                                      double negligible = 0.25);
+
+/**
+ * Render the Figure 6 tree: rows sorted good -> moderate -> poor, with
+ * the scaling class, the top-3 delimiter names, the benchmark label,
+ * suite and speedup.
+ */
+std::string renderClassificationTree(
+    const std::vector<ClassifiedBenchmark> &rows);
+
+/** Short component name used in the tree ("cache", "memory", ...). */
+const char *shortComponentName(StackComponent comp);
+
+} // namespace sst
+
+#endif // SST_CORE_CLASSIFY_HH

@@ -1,0 +1,69 @@
+#include "experiment.hh"
+
+#include "util/logging.hh"
+
+namespace sst {
+
+ReportOptions
+defaultReportOptions(const SimParams &params)
+{
+    ReportOptions opts;
+    opts.nominalSamplingFactor =
+        static_cast<double>(params.cache.atdSamplingFactor);
+    return opts;
+}
+
+RunResult
+runSingleThreaded(const SimParams &params, const BenchmarkProfile &profile)
+{
+    return simulate(params, profile, 1);
+}
+
+SpeedupExperiment
+runWithBaseline(const SimParams &params, const BenchmarkProfile &profile,
+                int nthreads, const RunResult &baseline,
+                const ReportOptions *opts)
+{
+    sstAssert(baseline.nthreads == 1,
+              "baseline run must be single-threaded");
+    const ReportOptions options =
+        opts ? *opts : defaultReportOptions(params);
+
+    SpeedupExperiment exp;
+    exp.label = profile.label();
+    exp.nthreads = nthreads;
+    exp.single = baseline;
+    exp.parallel = simulate(params, profile, nthreads);
+
+    exp.ts = exp.single.executionTime;
+    exp.tp = exp.parallel.executionTime;
+    exp.actualSpeedup = static_cast<double>(exp.ts) /
+                        static_cast<double>(exp.tp);
+
+    const std::vector<CycleComponents> comps =
+        computeComponents(exp.parallel.threads, exp.tp, options);
+    exp.stack = buildSpeedupStack(comps, exp.tp);
+    exp.estimatedSpeedup = exp.stack.estimatedSpeedup;
+    exp.error = speedupError(exp.estimatedSpeedup, exp.actualSpeedup,
+                             nthreads);
+
+    if (exp.single.totalInstructions > 0) {
+        const double st =
+            static_cast<double>(exp.single.totalInstructions);
+        const double mt =
+            static_cast<double>(exp.parallel.totalInstructions);
+        exp.parOverheadMeasured = (mt - st) / st;
+    }
+    return exp;
+}
+
+SpeedupExperiment
+runSpeedupExperiment(const SimParams &params,
+                     const BenchmarkProfile &profile, int nthreads,
+                     const ReportOptions *opts)
+{
+    const RunResult baseline = runSingleThreaded(params, profile);
+    return runWithBaseline(params, profile, nthreads, baseline, opts);
+}
+
+} // namespace sst

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * High-level experiment runner: execute the single-threaded reference run
+ * (measuring Ts) and the N-threaded run (measuring Tp and the raw
+ * accounting counters), then assemble actual speedup, the estimated
+ * speedup stack and the validation error. This is the primary entry
+ * point of the library for benches, tests and examples.
+ */
+
+#ifndef SST_CORE_EXPERIMENT_HH
+#define SST_CORE_EXPERIMENT_HH
+
+#include <string>
+
+#include "accounting/report.hh"
+#include "core/speedup_stack.hh"
+#include "sim/params.hh"
+#include "sim/run_result.hh"
+#include "sim/system.hh"
+#include "workload/profile.hh"
+
+namespace sst {
+
+/** Everything measured for one (benchmark, thread count) pair. */
+struct SpeedupExperiment
+{
+    std::string label;
+    int nthreads = 0;
+
+    Cycles ts = 0; ///< single-threaded execution time (measured)
+    Cycles tp = 0; ///< parallel execution time (measured)
+
+    double actualSpeedup = 0.0;    ///< S = Ts / Tp (Eq. 1)
+    double estimatedSpeedup = 0.0; ///< S^ from accounting only (Eq. 3)
+    double error = 0.0;            ///< (S^ - S) / N (Eq. 6)
+
+    SpeedupStack stack;            ///< estimated speedup stack
+
+    RunResult single;   ///< the 1-thread reference run
+    RunResult parallel; ///< the N-thread run
+
+    /**
+     * Parallelization overhead: relative dynamic instruction increase of
+     * the parallel run over the sequential one, spin instructions
+     * excluded (the Section 6 metric).
+     */
+    double parOverheadMeasured = 0.0;
+};
+
+/** Run the sequential reference configuration of @p profile. */
+RunResult runSingleThreaded(const SimParams &params,
+                            const BenchmarkProfile &profile);
+
+/**
+ * Run the @p nthreads-thread configuration and assemble the experiment
+ * against an existing baseline run (reuse the baseline when sweeping
+ * thread counts).
+ */
+SpeedupExperiment runWithBaseline(const SimParams &params,
+                                  const BenchmarkProfile &profile,
+                                  int nthreads, const RunResult &baseline,
+                                  const ReportOptions *opts = nullptr);
+
+/** Convenience wrapper: baseline + parallel run in one call. */
+SpeedupExperiment runSpeedupExperiment(const SimParams &params,
+                                       const BenchmarkProfile &profile,
+                                       int nthreads,
+                                       const ReportOptions *opts = nullptr);
+
+/** Default report options consistent with @p params. */
+ReportOptions defaultReportOptions(const SimParams &params);
+
+} // namespace sst
+
+#endif // SST_CORE_EXPERIMENT_HH

@@ -1,0 +1,103 @@
+#include "region_stacks.hh"
+
+#include "util/logging.hh"
+
+namespace sst {
+
+namespace {
+
+/** Component-relevant counter delta between two snapshots. */
+ThreadCounters
+delta(const ThreadCounters &now, const ThreadCounters &before)
+{
+    ThreadCounters d = now;
+    d.instructions -= before.instructions;
+    d.spinInstructions -= before.spinInstructions;
+    d.llcLoadMissStall -= before.llcLoadMissStall;
+    d.llcLoadMisses -= before.llcLoadMisses;
+    d.negLlcSampledStall -= before.negLlcSampledStall;
+    d.interThreadMissesSampled -= before.interThreadMissesSampled;
+    d.interThreadHitsSampled -= before.interThreadHitsSampled;
+    d.llcAccesses -= before.llcAccesses;
+    d.atdSampledAccesses -= before.atdSampledAccesses;
+    d.busWaitOther -= before.busWaitOther;
+    d.bankWaitOther -= before.bankWaitOther;
+    d.pageConflictOther -= before.pageConflictOther;
+    d.spinDetectedTian -= before.spinDetectedTian;
+    d.spinDetectedLi -= before.spinDetectedLi;
+    d.yieldCycles -= before.yieldCycles;
+    d.coherencyMisses -= before.coherencyMisses;
+    return d;
+}
+
+} // namespace
+
+std::vector<RegionStack>
+buildRegionStacks(const RunResult &run, const ReportOptions &opts)
+{
+    std::vector<RegionStack> out;
+    const std::size_t nthreads =
+        static_cast<std::size_t>(run.nthreads);
+
+    Cycles prev_at = 0;
+    const std::vector<ThreadCounters> *prev = nullptr;
+
+    auto emit = [&](BarrierId barrier, Cycles at,
+                    const std::vector<ThreadCounters> &counters) {
+        if (at <= prev_at)
+            return;
+        const Cycles span = at - prev_at;
+        std::vector<ThreadCounters> deltas;
+        deltas.reserve(nthreads);
+        for (std::size_t t = 0; t < nthreads; ++t) {
+            ThreadCounters d =
+                prev ? delta(counters[t], (*prev)[t]) : counters[t];
+            // Within a region every thread "finishes" at the closing
+            // barrier: imbalance is zero by construction and the
+            // barrier wait shows up as spin/yield of this region.
+            d.finishTime = span;
+            deltas.push_back(d);
+        }
+        RegionStack rs;
+        rs.barrier = barrier;
+        rs.begin = prev_at;
+        rs.end = at;
+        rs.stack = buildSpeedupStack(computeComponents(deltas, span, opts),
+                                     span);
+        out.push_back(std::move(rs));
+    };
+
+    for (const RegionBoundary &rb : run.regions) {
+        sstAssert(rb.counters.size() == nthreads,
+                  "region snapshot thread count mismatch");
+        emit(rb.barrier, rb.at, rb.counters);
+        prev_at = rb.at;
+        prev = &rb.counters;
+    }
+
+    // Tail region after the last barrier (work before the threads end).
+    if (run.executionTime > prev_at) {
+        // Final counters, with per-thread finish times preserved so the
+        // tail's imbalance is measured as in the whole-run stack.
+        std::vector<ThreadCounters> deltas;
+        for (std::size_t t = 0; t < nthreads; ++t) {
+            ThreadCounters d =
+                prev ? delta(run.threads[t], (*prev)[t]) : run.threads[t];
+            d.finishTime = run.threads[t].finishTime > prev_at
+                               ? run.threads[t].finishTime - prev_at
+                               : 0;
+            deltas.push_back(d);
+        }
+        RegionStack rs;
+        rs.barrier = kInvalidId;
+        rs.begin = prev_at;
+        rs.end = run.executionTime;
+        const Cycles span = run.executionTime - prev_at;
+        rs.stack = buildSpeedupStack(computeComponents(deltas, span, opts),
+                                     span);
+        out.push_back(std::move(rs));
+    }
+    return out;
+}
+
+} // namespace sst

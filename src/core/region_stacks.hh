@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Per-region speedup stacks (Section 4.6). The whole-run stack folds
+ * barrier imbalance into spinning/yielding because the hardware cannot
+ * tell lock waits from barrier waits. Splitting the run at barrier
+ * releases and building one stack per region isolates where in the
+ * program each delimiter bites: a region whose ending barrier is skewed
+ * shows the wait concentrated in its own stack.
+ */
+
+#ifndef SST_CORE_REGION_STACKS_HH
+#define SST_CORE_REGION_STACKS_HH
+
+#include <vector>
+
+#include "accounting/report.hh"
+#include "core/speedup_stack.hh"
+#include "sim/run_result.hh"
+
+namespace sst {
+
+/** One region's stack plus its span. */
+struct RegionStack
+{
+    BarrierId barrier = 0; ///< barrier that closed the region
+    Cycles begin = 0;      ///< RoI-relative start
+    Cycles end = 0;        ///< RoI-relative end (barrier release)
+    SpeedupStack stack;
+};
+
+/**
+ * Build per-region stacks from a parallel run's boundary snapshots.
+ * Region i spans (boundary[i-1].at, boundary[i].at]; counter deltas
+ * between consecutive snapshots feed the usual component math, with the
+ * region's own span as Tp. A final partial region (after the last
+ * barrier) is emitted if the run continued past it.
+ */
+std::vector<RegionStack> buildRegionStacks(
+    const RunResult &run, const ReportOptions &opts = ReportOptions());
+
+} // namespace sst
+
+#endif // SST_CORE_REGION_STACKS_HH

@@ -1,0 +1,161 @@
+#include "render.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.hh"
+
+namespace sst {
+
+namespace {
+
+/** Fill characters for the vertical bars, indexed like
+ *  allStackComponents(). */
+char
+fillChar(StackComponent comp)
+{
+    switch (comp) {
+      case StackComponent::kBase:
+        return '#'; // base speedup (the paper's black component)
+      case StackComponent::kPosLlc:
+        return '+'; // positive LLC interference (dark gray)
+      case StackComponent::kNegLlcNet:
+        return '.'; // net negative LLC interference (white)
+      case StackComponent::kNegMem:
+        return 'm';
+      case StackComponent::kSpin:
+        return 's';
+      case StackComponent::kYield:
+        return 'y';
+      case StackComponent::kImbalance:
+        return 'i';
+      case StackComponent::kCoherency:
+        return 'c';
+    }
+    return '?';
+}
+
+} // namespace
+
+std::string
+renderStackTable(const SpeedupStack &stack, double actual_speedup)
+{
+    TextTable table;
+    table.setHeader({"component", "speedup units"});
+    for (const StackComponent comp : allStackComponents()) {
+        const double v = stack.componentValue(comp);
+        if (comp != StackComponent::kBase && std::fabs(v) < 1e-9)
+            continue;
+        table.addRow({stackComponentName(comp), fmtDouble(v, 3)});
+    }
+    table.addRule();
+    table.addRow({"estimated speedup",
+                  fmtDouble(stack.estimatedSpeedup, 3)});
+    if (actual_speedup >= 0.0)
+        table.addRow({"actual speedup", fmtDouble(actual_speedup, 3)});
+    table.addRow({"stack height (N)",
+                  fmtDouble(static_cast<double>(stack.nthreads), 0)});
+    return table.render();
+}
+
+std::string
+renderStackBars(const std::vector<SpeedupStack> &stacks,
+                const std::vector<std::string> &labels, int height)
+{
+    if (stacks.empty())
+        return "";
+
+    int max_n = 1;
+    for (const auto &s : stacks)
+        max_n = std::max(max_n, s.nthreads);
+
+    const int bar_width = 7;
+    const std::size_t nbars = stacks.size();
+
+    // Build each bar as a bottom-up vector of fill characters.
+    std::vector<std::vector<char>> bars(nbars);
+    for (std::size_t b = 0; b < nbars; ++b) {
+        const SpeedupStack &s = stacks[b];
+        std::vector<char> col;
+        for (const StackComponent comp : allStackComponents()) {
+            const double v = std::max(0.0, s.componentValue(comp));
+            const int rows = static_cast<int>(
+                std::lround(v / max_n * height));
+            for (int r = 0; r < rows; ++r)
+                col.push_back(fillChar(comp));
+        }
+        // Rounding can over/undershoot the exact height of this stack.
+        const int want = static_cast<int>(
+            std::lround(static_cast<double>(s.nthreads) / max_n * height));
+        while (static_cast<int>(col.size()) > want)
+            col.pop_back();
+        while (static_cast<int>(col.size()) < want)
+            col.push_back(fillChar(StackComponent::kYield));
+        bars[b] = std::move(col);
+    }
+
+    std::string out;
+    for (int row = height - 1; row >= 0; --row) {
+        // Y axis: speedup value at this row.
+        const double yval = static_cast<double>(max_n) * (row + 1) / height;
+        out += padLeft(fmtDouble(yval, 1), 5) + " |";
+        for (std::size_t b = 0; b < nbars; ++b) {
+            const char fill =
+                row < static_cast<int>(bars[b].size()) ? bars[b][static_cast<std::size_t>(row)] : ' ';
+            out += ' ';
+            out += std::string(static_cast<std::size_t>(bar_width) - 1,
+                               fill == ' ' ? ' ' : fill);
+        }
+        out += '\n';
+    }
+    out += "      +" +
+           std::string(nbars * static_cast<std::size_t>(bar_width), '-') +
+           '\n';
+    out += "       ";
+    for (std::size_t b = 0; b < nbars; ++b) {
+        std::string lab = b < labels.size() ? labels[b] : "";
+        if (lab.size() > static_cast<std::size_t>(bar_width - 1))
+            lab.resize(static_cast<std::size_t>(bar_width - 1));
+        out += padRight(lab, static_cast<std::size_t>(bar_width));
+    }
+    out += '\n';
+
+    out += "legend: ";
+    for (const StackComponent comp : allStackComponents()) {
+        bool used = false;
+        for (const auto &s : stacks) {
+            if (s.componentValue(comp) > 1e-9)
+                used = true;
+        }
+        if (!used && comp != StackComponent::kBase)
+            continue;
+        out += std::string(1, fillChar(comp)) + "=" +
+               stackComponentName(comp) + "  ";
+    }
+    out += '\n';
+    return out;
+}
+
+std::string
+renderStacksCsv(const std::vector<SpeedupStack> &stacks,
+                const std::vector<std::string> &labels)
+{
+    TextTable table;
+    table.setHeader({"label", "nthreads", "base", "pos_llc", "net_neg_llc",
+                     "neg_mem", "spin", "yield", "imbalance", "coherency",
+                     "estimated"});
+    for (std::size_t i = 0; i < stacks.size(); ++i) {
+        const SpeedupStack &s = stacks[i];
+        table.addRow({i < labels.size() ? labels[i] : "",
+                      std::to_string(s.nthreads),
+                      fmtDouble(s.baseSpeedup, 4), fmtDouble(s.posLlc, 4),
+                      fmtDouble(s.netNegLlc(), 4), fmtDouble(s.negMem, 4),
+                      fmtDouble(s.spin, 4), fmtDouble(s.yield, 4),
+                      fmtDouble(s.imbalance, 4),
+                      fmtDouble(s.coherency, 4),
+                      fmtDouble(s.estimatedSpeedup, 4)});
+    }
+    return table.renderCsv();
+}
+
+} // namespace sst

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Text rendering of speedup stacks: component breakdown tables, CSV
+ * export, and Figure-5-style vertical ASCII stacked bars for side-by-side
+ * visual comparison of benchmarks / thread counts.
+ */
+
+#ifndef SST_CORE_RENDER_HH
+#define SST_CORE_RENDER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/speedup_stack.hh"
+
+namespace sst {
+
+/** Component table of a single stack (values in speedup units). */
+std::string renderStackTable(const SpeedupStack &stack,
+                             double actual_speedup = -1.0);
+
+/**
+ * Figure-5-style chart: one vertical stacked bar per entry, @p height
+ * character rows tall, scaled to the tallest stack's N. Each component
+ * renders with a distinct fill character, explained in a legend.
+ */
+std::string renderStackBars(const std::vector<SpeedupStack> &stacks,
+                            const std::vector<std::string> &labels,
+                            int height = 24);
+
+/** CSV header + rows, one row per stack (for external plotting). */
+std::string renderStacksCsv(const std::vector<SpeedupStack> &stacks,
+                            const std::vector<std::string> &labels);
+
+} // namespace sst
+
+#endif // SST_CORE_RENDER_HH

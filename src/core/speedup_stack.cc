@@ -1,0 +1,108 @@
+#include "speedup_stack.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sst {
+
+const char *
+stackComponentName(StackComponent comp)
+{
+    switch (comp) {
+      case StackComponent::kBase:
+        return "base speedup";
+      case StackComponent::kPosLlc:
+        return "positive LLC interference";
+      case StackComponent::kNegLlcNet:
+        return "net negative LLC interference";
+      case StackComponent::kNegMem:
+        return "negative memory interference";
+      case StackComponent::kSpin:
+        return "spinning";
+      case StackComponent::kYield:
+        return "yielding";
+      case StackComponent::kImbalance:
+        return "imbalance";
+      case StackComponent::kCoherency:
+        return "cache coherency";
+    }
+    return "?";
+}
+
+const std::vector<StackComponent> &
+allStackComponents()
+{
+    static const std::vector<StackComponent> order = {
+        StackComponent::kBase,      StackComponent::kPosLlc,
+        StackComponent::kNegLlcNet, StackComponent::kNegMem,
+        StackComponent::kSpin,      StackComponent::kYield,
+        StackComponent::kImbalance, StackComponent::kCoherency,
+    };
+    return order;
+}
+
+double
+SpeedupStack::componentValue(StackComponent comp) const
+{
+    switch (comp) {
+      case StackComponent::kBase:
+        return baseSpeedup;
+      case StackComponent::kPosLlc:
+        return posLlc;
+      case StackComponent::kNegLlcNet:
+        return netNegLlc();
+      case StackComponent::kNegMem:
+        return negMem;
+      case StackComponent::kSpin:
+        return spin;
+      case StackComponent::kYield:
+        return yield;
+      case StackComponent::kImbalance:
+        return imbalance;
+      case StackComponent::kCoherency:
+        return coherency;
+    }
+    return 0.0;
+}
+
+bool
+SpeedupStack::sumsToHeight(double tol) const
+{
+    double sum = 0.0;
+    for (const StackComponent comp : allStackComponents())
+        sum += componentValue(comp);
+    return std::fabs(sum - static_cast<double>(nthreads)) <= tol;
+}
+
+SpeedupStack
+buildSpeedupStack(const std::vector<CycleComponents> &comps, Cycles tp)
+{
+    sstAssert(tp > 0, "buildSpeedupStack needs a positive Tp");
+    SpeedupStack stack;
+    stack.nthreads = static_cast<int>(comps.size());
+
+    const double tpd = static_cast<double>(tp);
+    double overhead_sum = 0.0;
+    for (const CycleComponents &c : comps) {
+        stack.posLlc += c.posLlc / tpd;
+        stack.negLlc += c.negLlc / tpd;
+        stack.negMem += c.negMem / tpd;
+        stack.spin += c.spin / tpd;
+        stack.yield += c.yield / tpd;
+        stack.imbalance += c.imbalance / tpd;
+        stack.coherency += c.coherency / tpd;
+        overhead_sum += c.overheadSum() / tpd;
+    }
+    stack.baseSpeedup = static_cast<double>(stack.nthreads) - overhead_sum;
+    stack.estimatedSpeedup = stack.baseSpeedup + stack.posLlc;
+    return stack;
+}
+
+double
+speedupError(double estimated, double actual, int nthreads)
+{
+    return (estimated - actual) / static_cast<double>(nthreads);
+}
+
+} // namespace sst

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The speedup stack — the paper's primary contribution (Section 2).
+ *
+ * A speedup stack decomposes the gap between the ideal speedup N and the
+ * achieved speedup of an N-threaded run into scaling delimiters. From
+ * per-thread cycle components O_ij and P_i measured on the parallel run
+ * alone:
+ *
+ *     T^_i = Tp - sum_j O_ij + P_i                        (Eq. 2)
+ *     S^   = sum_i T^_i / Tp                              (Eq. 3)
+ *          = N - sum_i sum_j O_ij / Tp + sum_i P_i / Tp   (Eq. 4)
+ *     S^_base = N - sum_i sum_j O_ij / Tp                 (Eq. 5)
+ *
+ * All stack components are expressed in *speedup units* (cycles summed
+ * over threads, divided by Tp), so base + all overhead components equals
+ * N exactly, and the estimated speedup is base + positive interference.
+ */
+
+#ifndef SST_CORE_SPEEDUP_STACK_HH
+#define SST_CORE_SPEEDUP_STACK_HH
+
+#include <string>
+#include <vector>
+
+#include "accounting/report.hh"
+#include "util/types.hh"
+
+namespace sst {
+
+/** Identifier of a stack component (display order: bottom to top). */
+enum class StackComponent {
+    kBase,       ///< base speedup (Eq. 5)
+    kPosLlc,     ///< positive LLC interference
+    kNegLlcNet,  ///< net negative LLC interference (neg - pos)
+    kNegMem,     ///< negative memory interference (bus/bank/page)
+    kSpin,       ///< spinning on locks and barriers
+    kYield,      ///< descheduled while waiting on sync
+    kImbalance,  ///< end-of-region load imbalance
+    kCoherency,  ///< cache coherency (optional, off by default)
+};
+
+/** Human-readable component name as used in the paper's figures. */
+const char *stackComponentName(StackComponent comp);
+
+/** All components in display order. */
+const std::vector<StackComponent> &allStackComponents();
+
+/** A complete speedup stack for one (benchmark, thread-count) pair. */
+struct SpeedupStack
+{
+    int nthreads = 0;
+
+    // Aggregate components in speedup units.
+    double posLlc = 0.0;
+    double negLlc = 0.0; ///< gross negative LLC interference
+    double negMem = 0.0;
+    double spin = 0.0;
+    double yield = 0.0;
+    double imbalance = 0.0;
+    double coherency = 0.0;
+
+    /** Base speedup (Eq. 5): N minus all overhead components. */
+    double baseSpeedup = 0.0;
+
+    /** Estimated speedup (Eq. 3/4): base + positive interference. */
+    double estimatedSpeedup = 0.0;
+
+    /** Net negative LLC interference, the white component of Fig. 5. */
+    double netNegLlc() const { return negLlc - posLlc; }
+
+    /** Value of one display component in speedup units. */
+    double componentValue(StackComponent comp) const;
+
+    /**
+     * Invariant check: all display components sum to N (the stack height)
+     * within @p tol.
+     */
+    bool sumsToHeight(double tol = 1e-6) const;
+};
+
+/**
+ * Build a speedup stack from per-thread cycle components (Section 2
+ * math). @p tp is the parallel run's execution time.
+ */
+SpeedupStack buildSpeedupStack(const std::vector<CycleComponents> &comps,
+                               Cycles tp);
+
+/**
+ * The paper's validation error metric (Eq. 6):
+ * (estimated - actual) / N.
+ */
+double speedupError(double estimated, double actual, int nthreads);
+
+} // namespace sst
+
+#endif // SST_CORE_SPEEDUP_STACK_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * All configuration of one simulated CMP run. Defaults follow the
+ * paper's methodology (Section 5): four-wide out-of-order cores, private
+ * L1s, a shared 2MB LLC, a shared memory bus and 8 DRAM banks.
+ */
+
+#ifndef SST_SIM_PARAMS_HH
+#define SST_SIM_PARAMS_HH
+
+#include "accounting/accounting_unit.hh"
+#include "cache/hierarchy.hh"
+#include "mem/dram.hh"
+#include "util/types.hh"
+
+namespace sst {
+
+/** Full CMP + OS + accounting configuration. */
+struct SimParams
+{
+    int ncores = 16;
+
+    // ---- core timing model -----------------------------------------------
+    int dispatchWidth = 4;     ///< instructions per cycle when not stalled
+    Cycles llcHitCycles = 6;   ///< visible L2-hit penalty after OoO hiding
+    Cycles c2cTransferCycles = 14; ///< extra for dirty-in-other-L1 lines
+    /**
+     * Out-of-order overlap credit per LLC miss: the first
+     * robOverlapCycles of each miss are hidden by the ROB draining useful
+     * work; only the remainder blocks the ROB head and stalls the core
+     * (the paper accounts interference only for ROB-blocking cycles).
+     */
+    Cycles robOverlapCycles = 28;
+    Cycles coherencyMissCycles = 0; ///< L1 coherency misses hidden (Sec 4.5)
+
+    // ---- spin / yield policy -----------------------------------------------
+    Cycles spinCheckCycles = 20;  ///< cycles per spin-loop iteration
+    std::uint32_t spinLoopInstrs = 4; ///< instructions per spin iteration
+    /**
+     * Spin budget before a lock waiter yields (adaptive-mutex style:
+     * locks are worth spinning on because critical sections are short).
+     */
+    Cycles lockSpinThreshold = 2500;
+    /**
+     * Spin budget before a barrier waiter yields. Pthread-style barriers
+     * go to sleep almost immediately since barrier waits are long.
+     */
+    Cycles barrierSpinThreshold = 150;
+
+    // ---- OS scheduler -------------------------------------------------------
+    Cycles ctxSwitchCycles = 300;  ///< cost to switch a core to a thread
+    Cycles wakeLatencyCycles = 150; ///< futex-wake to ready
+    /**
+     * Per-wake scheduler bookkeeping that grows with the machine size
+     * (run-queue locking, IPIs); models the "Linux scheduler less
+     * efficient at higher core counts" effect seen in Figure 7.
+     */
+    Cycles schedPerCoreOverhead = 5;
+    Cycles timeSliceCycles = 4000;  ///< preemption quantum (oversubscribed)
+    /**
+     * Explicitly flush the L1 when a core switches to a different
+     * thread. Off by default: cold-start behaviour already emerges
+     * naturally from the tag state (the incoming thread's lines simply
+     * are not resident), so flushing would double-charge migrations.
+     */
+    bool migrationFlushesL1 = false;
+
+    CacheParams cache;
+    DramParams dram;
+    AccountingParams accounting;
+
+    /** Scheduler bookkeeping cost for one wake on this machine. */
+    Cycles
+    wakeCost() const
+    {
+        return wakeLatencyCycles +
+               schedPerCoreOverhead * static_cast<Cycles>(ncores);
+    }
+};
+
+} // namespace sst
+
+#endif // SST_SIM_PARAMS_HH

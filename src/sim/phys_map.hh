@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Virtual-to-physical address translation. Workload addresses are
+ * region-aligned virtual addresses; mapping them directly onto cache
+ * sets and DRAM banks would alias every thread's region base into set 0
+ * / bank 0 — a pathology real systems do not have because the OS
+ * scatters physical pages. This deterministic page-hash mapping models
+ * that scattering: each 4KB virtual page maps to a pseudo-random
+ * physical frame (stateless, reproducible), preserving in-page offsets.
+ */
+
+#ifndef SST_SIM_PHYS_MAP_HH
+#define SST_SIM_PHYS_MAP_HH
+
+#include "util/types.hh"
+
+namespace sst {
+
+/** Page size of the simulated system. */
+inline constexpr Addr kPageBytes = 4096;
+
+/** Physical address space size: 40 bits. */
+inline constexpr int kPhysBits = 40;
+
+/** Translate a virtual address to its simulated physical address. */
+constexpr Addr
+toPhysical(Addr vaddr)
+{
+    const Addr vpage = vaddr / kPageBytes;
+    // SplitMix64-style stateless hash of the page number.
+    Addr x = vpage + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x = x ^ (x >> 31);
+    const Addr frame = x & ((Addr(1) << (kPhysBits - 12)) - 1);
+    return frame * kPageBytes + (vaddr & (kPageBytes - 1));
+}
+
+} // namespace sst
+
+#endif // SST_SIM_PHYS_MAP_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The CMP system simulator. Executes one multi-threaded workload on N
+ * cores with private L1s, a shared LLC, a shared memory bus + banked
+ * DRAM, an OS scheduler with spin-then-yield synchronization, and the
+ * per-thread cycle accounting architecture observing it all.
+ *
+ * Simulation is event-driven: cores run ahead locally through compute
+ * ops and stop at every globally visible action (memory reference, lock,
+ * barrier). The event loop always advances the core with the earliest
+ * pending action, so shared structures (LLC tags, DRAM bus/banks, locks)
+ * observe accesses in global time order, which keeps the
+ * computed-at-issue DRAM schedule exact.
+ *
+ * Synchronization protocol: a failed lock acquire (or non-final barrier
+ * arrival) enters a spin loop that polls the lock/barrier word through
+ * the cache hierarchy every spinCheckCycles; after spinYieldThreshold
+ * cycles the thread yields, is parked on the primitive's wait list, and
+ * is woken by the releaser (futex-style), paying wake + context-switch
+ * costs. Short waits therefore register as spinning and long waits as
+ * yielding, matching Sections 4.3 and 4.4 of the paper.
+ */
+
+#ifndef SST_SIM_SYSTEM_HH
+#define SST_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "accounting/accounting_unit.hh"
+#include "cache/hierarchy.hh"
+#include "mem/dram.hh"
+#include "sim/params.hh"
+#include "sim/run_result.hh"
+#include "sync/sync_state.hh"
+#include "util/types.hh"
+#include "workload/profile.hh"
+#include "workload/thread_program.hh"
+
+namespace sst {
+
+/** One simulated execution of a workload on a CMP. */
+class System
+{
+  public:
+    /**
+     * @param params machine + OS + accounting configuration
+     * @param profile workload to run
+     * @param nthreads software threads to spawn (may exceed
+     *        params.ncores; the scheduler then time-shares cores)
+     */
+    System(const SimParams &params, const BenchmarkProfile &profile,
+           int nthreads);
+
+    /** Run to completion and return all measurements. */
+    RunResult run();
+
+    /** Accounting hardware (valid after run()). */
+    const AccountingUnit &accounting() const { return acct_; }
+
+    /** Cache hierarchy (valid after run()). */
+    const CacheHierarchy &hierarchy() const { return hierarchy_; }
+
+    /** Sync state, exposed for tests. */
+    const SyncManager &sync() const { return sync_; }
+
+  private:
+    static constexpr Cycles kNever = ~Cycles(0);
+
+    enum class ThreadState : std::uint8_t {
+        kReady,        ///< runnable, waiting for a core
+        kRunning,      ///< executing on a core
+        kSpinLock,     ///< spin loop on a lock word
+        kSpinBarrier,  ///< spin loop on a barrier word
+        kBlockedLock,  ///< yielded, parked on a lock wait list
+        kBlockedBarrier, ///< yielded, parked on a barrier wait list
+        kFinished,
+    };
+
+    enum class BlockReason : std::uint8_t { kNone, kLock, kBarrier };
+
+    struct Thread
+    {
+        ThreadId tid = 0;
+        ThreadState state = ThreadState::kReady;
+        std::unique_ptr<ThreadProgram> program;
+        Op pending;
+        bool hasPending = false;
+        int pendingSlots = 0;     ///< sub-cycle dispatch slot accumulator
+        Cycles spinStart = 0;
+        int waitId = 0;
+        std::uint64_t waitGeneration = 0;
+        Cycles blockStart = 0;
+        BlockReason blockReason = BlockReason::kNone;
+        CoreId lastCore = kInvalidId;
+        Cycles sliceStart = 0;
+        std::uint64_t storeSerial = 0;  ///< Li detector state component
+        std::uint64_t lastLoadValue = 0;
+    };
+
+    struct Core
+    {
+        CoreId id = 0;
+        ThreadId thread = kInvalidId;
+        Cycles nextEventAt = kNever;
+    };
+
+    struct WakeEvent
+    {
+        Cycles at;
+        ThreadId tid;
+        bool operator>(const WakeEvent &o) const
+        {
+            return at != o.at ? at > o.at : tid > o.tid;
+        }
+    };
+
+    // ---- event processing --------------------------------------------------
+    void processCore(Core &core, Cycles now);
+    void executeFrom(Core &core, Thread &th, Cycles now);
+    void spinLockCheck(Core &core, Thread &th, Cycles now);
+    void spinBarrierCheck(Core &core, Thread &th, Cycles now);
+
+    // ---- op handlers (return false if the core rescheduled/blocked) --------
+    bool doMemRef(Core &core, Thread &th, const Op &op, Cycles &now);
+    bool doLockAcquire(Core &core, Thread &th, const Op &op, Cycles &now);
+    void doLockRelease(Core &core, Thread &th, const Op &op, Cycles &now);
+    bool doBarrier(Core &core, Thread &th, const Op &op, Cycles &now);
+    void finishThread(Core &core, Thread &th, Cycles now);
+
+    // ---- scheduler -----------------------------------------------------------
+    void blockThread(Core &core, Thread &th, BlockReason reason,
+                     Cycles now);
+    void scheduleNext(Core &core, Cycles now);
+    void wakeThread(ThreadId tid, Cycles now);
+    void enqueueWake(ThreadId tid, Cycles now);
+    CoreId findIdleCore(CoreId preferred) const;
+
+    // ---- helpers ---------------------------------------------------------------
+    void chargeInstructions(Thread &th, std::uint32_t count, Cycles &now);
+    bool timeSliceExpired(const Thread &th, Cycles now) const;
+    Cycles spinBranchHash(const Thread &th, std::uint64_t value) const;
+
+    SimParams params_;
+    const BenchmarkProfile &profile_;
+    int nthreads_;
+
+    CacheHierarchy hierarchy_;
+    DramModel dram_;
+    SyncManager sync_;
+    ValueTracker tracker_;
+    AccountingUnit acct_;
+
+    std::vector<Thread> threads_;
+    std::vector<Core> cores_;
+    std::priority_queue<WakeEvent, std::vector<WakeEvent>,
+                        std::greater<WakeEvent>>
+        wakeQueue_;
+    std::deque<ThreadId> readyQueue_;
+    int finishedThreads_ = 0;
+    Cycles roiStart_ = 0;  ///< cycle at which all measurements (re)start
+    int roiPassed_ = 0;
+    std::vector<RegionBoundary> regions_;
+    bool ran_ = false;
+};
+
+/**
+ * Convenience runner used by benches, tests and examples: simulate
+ * @p profile with @p nthreads threads on @p nthreads cores (or on
+ * @p ncores_override cores when oversubscribing).
+ */
+RunResult simulate(const SimParams &base, const BenchmarkProfile &profile,
+                   int nthreads, int ncores_override = 0);
+
+} // namespace sst
+
+#endif // SST_SIM_SYSTEM_HH

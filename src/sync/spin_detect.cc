@@ -1,0 +1,129 @@
+#include "spin_detect.hh"
+
+namespace sst {
+
+TianSpinDetector::TianSpinDetector(const Params &params)
+    : params_(params),
+      table_(static_cast<std::size_t>(params.tableEntries))
+{
+}
+
+Cycles
+TianSpinDetector::observeLoad(PC pc, Addr addr, std::uint64_t value,
+                              bool written_by_other, Cycles now)
+{
+    // Find an entry tracking this load PC.
+    Entry *entry = nullptr;
+    Entry *lru = &table_[0];
+    for (auto &e : table_) {
+        if (e.valid && e.pc == pc) {
+            entry = &e;
+            break;
+        }
+        if (!e.valid || e.lastUse < lru->lastUse)
+            lru = &e;
+    }
+
+    if (!entry) {
+        // Allocate (LRU replacement) and start tracking.
+        *lru = Entry{};
+        lru->valid = true;
+        lru->pc = pc;
+        lru->addr = addr;
+        lru->value = value;
+        lru->count = 1;
+        lru->firstSeen = now;
+        lru->lastUse = now;
+        return 0;
+    }
+
+    entry->lastUse = now;
+
+    if (entry->addr != addr) {
+        // Same static load touching a different address: not a spin-loop
+        // candidate in its current incarnation; restart tracking.
+        entry->addr = addr;
+        entry->value = value;
+        entry->count = 1;
+        entry->marked = false;
+        entry->firstSeen = now;
+        return 0;
+    }
+
+    if (entry->value == value) {
+        ++entry->count;
+        if (!entry->marked && entry->count >= params_.markThreshold)
+            entry->marked = true;
+        return 0;
+    }
+
+    // The value changed. For a marked load whose new value was produced
+    // by another core, the whole interval since the first occurrence was
+    // a spin (the paper's detection condition).
+    Cycles spin = 0;
+    if (entry->marked && written_by_other) {
+        spin = now - entry->firstSeen;
+        detected_ += spin;
+    }
+    entry->value = value;
+    entry->count = 1;
+    entry->marked = false;
+    entry->firstSeen = now;
+    return spin;
+}
+
+std::uint64_t
+TianSpinDetector::hardwareBits(const Params &params)
+{
+    // Per entry: 64-bit PC + 64-bit address + 64-bit data + mark bit +
+    // 24-bit timestamp = 217 bits; with the default 8 entries the table
+    // is 217 bytes per core, matching Section 4.7.
+    const std::uint64_t entry_bits = 64 + 64 + 64 + 1 + 24;
+    return entry_bits * static_cast<std::uint64_t>(params.tableEntries);
+}
+
+LiSpinDetector::LiSpinDetector(const Params &params)
+    : params_(params),
+      table_(static_cast<std::size_t>(params.tableEntries))
+{
+}
+
+Cycles
+LiSpinDetector::observeBackwardBranch(PC pc, std::uint64_t state_hash,
+                                      Cycles now)
+{
+    Entry *entry = nullptr;
+    Entry *lru = &table_[0];
+    for (auto &e : table_) {
+        if (e.valid && e.pc == pc) {
+            entry = &e;
+            break;
+        }
+        if (!e.valid || e.lastUse < lru->lastUse)
+            lru = &e;
+    }
+
+    if (!entry) {
+        *lru = Entry{};
+        lru->valid = true;
+        lru->pc = pc;
+        lru->stateHash = state_hash;
+        lru->lastSeen = now;
+        lru->lastUse = now;
+        return 0;
+    }
+
+    entry->lastUse = now;
+    Cycles spin = 0;
+    if (entry->stateHash == state_hash) {
+        // State unchanged since the last occurrence of this backward
+        // branch: the loop body made no progress -> spinning.
+        spin = now - entry->lastSeen;
+        detected_ += spin;
+    }
+    entry->stateHash = state_hash;
+    entry->lastSeen = now;
+    return spin;
+}
+
+} // namespace sst

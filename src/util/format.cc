@@ -1,0 +1,139 @@
+#include "format.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace sst {
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    sstAssert(header_.empty() || cells.size() == header_.size(),
+              "TextTable row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addRule()
+{
+    ruleBefore_.push_back(rows_.size());
+}
+
+std::string
+TextTable::render() const
+{
+    const std::size_t ncols =
+        header_.empty() ? (rows_.empty() ? 0 : rows_[0].size())
+                        : header_.size();
+    std::vector<std::size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size() && c < ncols; ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    std::size_t total = 0;
+    for (std::size_t w : width)
+        total += w + 2;
+
+    std::string out;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += padRight(row[c], width[c]);
+            if (c + 1 < row.size())
+                out += "  ";
+        }
+        out += '\n';
+    };
+    auto emitRule = [&]() { out += std::string(total, '-') + '\n'; };
+
+    if (!header_.empty()) {
+        emitRow(header_);
+        emitRule();
+    }
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        if (std::find(ruleBefore_.begin(), ruleBefore_.end(), i) !=
+            ruleBefore_.end()) {
+            emitRule();
+        }
+        emitRow(rows_[i]);
+    }
+    return out;
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::string out;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            if (c + 1 < row.size())
+                out += ',';
+        }
+        out += '\n';
+    };
+    if (!header_.empty())
+        emitRow(header_);
+    for (const auto &r : rows_)
+        emitRow(r);
+    return out;
+}
+
+std::string
+fmtDouble(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, v * 100.0);
+    return buf;
+}
+
+std::string
+fmtBytes(std::uint64_t bytes)
+{
+    char buf[64];
+    if (bytes >= (1ULL << 20) && bytes % (1ULL << 20) == 0) {
+        std::snprintf(buf, sizeof(buf), "%lluMB",
+                      static_cast<unsigned long long>(bytes >> 20));
+    } else if (bytes >= (1ULL << 10) && bytes % (1ULL << 10) == 0) {
+        std::snprintf(buf, sizeof(buf), "%lluKB",
+                      static_cast<unsigned long long>(bytes >> 10));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+std::string
+padLeft(const std::string &s, std::size_t w)
+{
+    return s.size() >= w ? s : std::string(w - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t w)
+{
+    return s.size() >= w ? s : s + std::string(w - s.size(), ' ');
+}
+
+} // namespace sst

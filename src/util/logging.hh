@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic() for internal
+ * invariant violations, fatal() for user/configuration errors, warn() and
+ * inform() for non-fatal diagnostics.
+ */
+
+#ifndef SST_UTIL_LOGGING_HH
+#define SST_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sst {
+
+/**
+ * Abort the process because an internal invariant was violated. Use for
+ * conditions that indicate a bug in the toolkit itself, never for bad
+ * user input.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/**
+ * Exit the process because of an unrecoverable user error (bad
+ * configuration, invalid parameters).
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Report a suspicious but survivable condition. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Report normal operating status. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/** panic() unless @p cond holds. */
+inline void
+sstAssert(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace sst
+
+#endif // SST_UTIL_LOGGING_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. Every stochastic choice
+ * in the toolkit (workload address streams, imbalance skew, critical
+ * section placement) draws from an Rng seeded per (benchmark, thread) so
+ * that simulations are exactly reproducible across runs and platforms.
+ *
+ * The generator is SplitMix64 feeding a xoshiro256** core — small, fast,
+ * and with well-understood statistical quality; we deliberately avoid
+ * std::mt19937 whose streams are not guaranteed identical across standard
+ * library implementations for the distribution adaptors.
+ */
+
+#ifndef SST_UTIL_RNG_HH
+#define SST_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace sst {
+
+/**
+ * Deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64).
+ * All distribution helpers are implemented locally so results are
+ * bit-identical everywhere.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; distinct seeds give distinct streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_)
+            word = splitMix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound), bound > 0. Uses rejection sampling. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style bounded generation with rejection to kill bias.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitMix64(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace sst
+
+#endif // SST_UTIL_RNG_HH

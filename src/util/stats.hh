@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Small statistics helpers used by the validation harness and the bench
+ * binaries: running mean/min/max/stddev and simple histograms.
+ */
+
+#ifndef SST_UTIL_STATS_HH
+#define SST_UTIL_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sst {
+
+/**
+ * Incremental summary statistics (Welford's algorithm for the variance so
+ * long accumulations stay numerically stable).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (n_ == 1 || x < min_)
+            min_ = x;
+        if (n_ == 1 || x > max_)
+            max_ = x;
+        sum_ += x;
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sample variance (n-1 denominator); 0 for fewer than two samples. */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Fixed-width histogram over [lo, hi); samples outside the range clamp to
+ * the first/last bucket. Used for miss-penalty and wait-time diagnostics.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, int buckets)
+        : lo_(lo), hi_(hi), counts_(static_cast<std::size_t>(buckets), 0)
+    {
+    }
+
+    void
+    add(double x)
+    {
+        const auto nb = static_cast<double>(counts_.size());
+        int idx = static_cast<int>((x - lo_) / (hi_ - lo_) * nb);
+        if (idx < 0)
+            idx = 0;
+        if (idx >= static_cast<int>(counts_.size()))
+            idx = static_cast<int>(counts_.size()) - 1;
+        ++counts_[static_cast<std::size_t>(idx)];
+        ++total_;
+    }
+
+    std::uint64_t bucket(int i) const
+    {
+        return counts_[static_cast<std::size_t>(i)];
+    }
+    int buckets() const { return static_cast<int>(counts_.size()); }
+    std::uint64_t total() const { return total_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace sst
+
+#endif // SST_UTIL_STATS_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for classification (Figure 6 logic) and stack rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/classify.hh"
+#include "core/render.hh"
+
+namespace sst {
+namespace {
+
+SpeedupStack
+makeStack(double yield, double neg_llc, double neg_mem, double spin)
+{
+    SpeedupStack s;
+    s.nthreads = 16;
+    s.yield = yield;
+    s.negLlc = neg_llc;
+    s.negMem = neg_mem;
+    s.spin = spin;
+    s.baseSpeedup = 16.0 - yield - neg_llc - neg_mem - spin;
+    s.estimatedSpeedup = s.baseSpeedup;
+    return s;
+}
+
+TEST(Classify, SpeedupThresholdsMatchPaper)
+{
+    EXPECT_EQ(classifySpeedup(15.9), ScalingClass::kGood);
+    EXPECT_EQ(classifySpeedup(10.0), ScalingClass::kGood);
+    EXPECT_EQ(classifySpeedup(9.99), ScalingClass::kModerate);
+    EXPECT_EQ(classifySpeedup(5.0), ScalingClass::kModerate);
+    EXPECT_EQ(classifySpeedup(4.99), ScalingClass::kPoor);
+    EXPECT_EQ(classifySpeedup(2.9), ScalingClass::kPoor);
+}
+
+TEST(Classify, RanksDelimitersByMagnitude)
+{
+    const SpeedupStack s = makeStack(8.0, 2.0, 3.0, 0.5);
+    const auto ranked = rankedDelimiters(s);
+    ASSERT_EQ(ranked.size(), 4u);
+    EXPECT_EQ(ranked[0], StackComponent::kYield);
+    EXPECT_EQ(ranked[1], StackComponent::kNegMem);
+    EXPECT_EQ(ranked[2], StackComponent::kNegLlcNet);
+    EXPECT_EQ(ranked[3], StackComponent::kSpin);
+}
+
+TEST(Classify, DropsNegligibleComponents)
+{
+    const SpeedupStack s = makeStack(8.0, 0.1, 0.05, 0.0);
+    const auto ranked = rankedDelimiters(s, 0.25);
+    ASSERT_EQ(ranked.size(), 1u);
+    EXPECT_EQ(ranked[0], StackComponent::kYield);
+}
+
+TEST(Classify, CacheRanksByGrossNegativeInterference)
+{
+    // Gross negative 2.0 ranks even if positive interference nets it
+    // out (removing all negative sharing recovers the gross value).
+    SpeedupStack s = makeStack(0.5, 2.0, 0.0, 0.0);
+    s.posLlc = 1.9;
+    const auto ranked = rankedDelimiters(s);
+    ASSERT_GE(ranked.size(), 1u);
+    EXPECT_EQ(ranked[0], StackComponent::kNegLlcNet);
+}
+
+TEST(Classify, BenchmarkRowLimitsToThree)
+{
+    const SpeedupStack s = makeStack(5.0, 2.0, 1.5, 1.0);
+    const ClassifiedBenchmark row =
+        classifyBenchmark("x", "suite", 4.5, s);
+    EXPECT_EQ(row.scaling, ScalingClass::kPoor);
+    EXPECT_EQ(row.delimiters.size(), 3u);
+}
+
+TEST(Classify, TreeGroupsByClassAndSortsBySpeedup)
+{
+    std::vector<ClassifiedBenchmark> rows;
+    rows.push_back(classifyBenchmark("slow", "s", 3.0,
+                                     makeStack(12, 0, 0, 0)));
+    rows.push_back(classifyBenchmark("fast", "s", 15.0,
+                                     makeStack(1, 0, 0, 0)));
+    rows.push_back(classifyBenchmark("mid", "s", 7.0,
+                                     makeStack(9, 0, 0, 0)));
+    const std::string tree = renderClassificationTree(rows);
+    const auto fast = tree.find("fast");
+    const auto mid = tree.find("mid");
+    const auto slow = tree.find("slow");
+    ASSERT_NE(fast, std::string::npos);
+    ASSERT_NE(mid, std::string::npos);
+    ASSERT_NE(slow, std::string::npos);
+    EXPECT_LT(fast, mid);
+    EXPECT_LT(mid, slow);
+    EXPECT_NE(tree.find("good"), std::string::npos);
+    EXPECT_NE(tree.find("moderate"), std::string::npos);
+    EXPECT_NE(tree.find("poor"), std::string::npos);
+}
+
+TEST(Render, StackTableShowsComponentsAndTotals)
+{
+    SpeedupStack s = makeStack(4.0, 1.0, 0.5, 0.0);
+    const std::string out = renderStackTable(s, 10.2);
+    EXPECT_NE(out.find("yielding"), std::string::npos);
+    EXPECT_NE(out.find("estimated speedup"), std::string::npos);
+    EXPECT_NE(out.find("10.2"), std::string::npos);
+}
+
+TEST(Render, BarsHaveLegendAndLabels)
+{
+    SpeedupStack s = makeStack(4.0, 1.0, 0.5, 0.2);
+    const std::string out = renderStackBars({s, s}, {"a16", "b16"}, 12);
+    EXPECT_NE(out.find("legend:"), std::string::npos);
+    EXPECT_NE(out.find("a16"), std::string::npos);
+    EXPECT_NE(out.find("b16"), std::string::npos);
+    EXPECT_NE(out.find("base speedup"), std::string::npos);
+}
+
+TEST(Render, CsvHasOneRowPerStack)
+{
+    SpeedupStack s = makeStack(4.0, 1.0, 0.5, 0.2);
+    const std::string csv = renderStacksCsv({s, s, s}, {"a", "b", "c"});
+    int newlines = 0;
+    for (const char ch : csv)
+        newlines += ch == '\n' ? 1 : 0;
+    EXPECT_EQ(newlines, 4); // header + 3 rows
+}
+
+TEST(Render, EmptyStacksRenderEmpty)
+{
+    EXPECT_EQ(renderStackBars({}, {}), "");
+}
+
+} // namespace
+} // namespace sst

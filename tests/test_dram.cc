@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit and property tests for the DRAM model: bank/row mapping,
+ * open-page timing, bus arbitration, interference attribution, ORA page
+ * conflicts and the bus interval allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+namespace sst {
+namespace {
+
+DramParams
+params()
+{
+    return DramParams{};
+}
+
+TEST(BusTimeline, NoWaitOnIdleBus)
+{
+    BusTimeline bus;
+    CoreId blocker = kInvalidId;
+    EXPECT_EQ(bus.reserve(100, 4, 0, blocker), 100u);
+    EXPECT_EQ(blocker, kInvalidId);
+}
+
+TEST(BusTimeline, WaitsBehindReservation)
+{
+    BusTimeline bus;
+    CoreId blocker;
+    bus.reserve(100, 10, 0, blocker);
+    EXPECT_EQ(bus.reserve(105, 4, 1, blocker), 110u);
+    EXPECT_EQ(blocker, 0);
+}
+
+TEST(BusTimeline, FillsGapBetweenReservations)
+{
+    BusTimeline bus;
+    CoreId blocker;
+    bus.reserve(100, 4, 0, blocker);  // [100,104)
+    bus.reserve(120, 4, 0, blocker);  // [120,124)
+    // A 4-cycle request at 106 fits in the gap.
+    EXPECT_EQ(bus.reserve(106, 4, 1, blocker), 106u);
+}
+
+TEST(BusTimeline, SkipsTooSmallGap)
+{
+    BusTimeline bus;
+    CoreId blocker;
+    bus.reserve(100, 4, 0, blocker);  // [100,104)
+    bus.reserve(106, 4, 0, blocker);  // [106,110)
+    // 4 cycles at 103: gap [104,106) too small -> goes after 110.
+    EXPECT_EQ(bus.reserve(103, 4, 1, blocker), 110u);
+}
+
+TEST(BusTimeline, PruneDropsExpired)
+{
+    BusTimeline bus;
+    CoreId blocker;
+    bus.reserve(100, 4, 0, blocker);
+    bus.reserve(104, 4, 0, blocker);
+    EXPECT_EQ(bus.liveReservations(), 2u);
+    bus.pruneBefore(108);
+    EXPECT_EQ(bus.liveReservations(), 0u);
+}
+
+TEST(Dram, BankAndRowMapping)
+{
+    DramModel dram(2, params());
+    EXPECT_EQ(dram.bankOf(0), 0);
+    EXPECT_EQ(dram.bankOf(kLineBytes), 1);
+    EXPECT_EQ(dram.bankOf(7 * kLineBytes), 7);
+    EXPECT_EQ(dram.bankOf(8 * kLineBytes), 0);
+    EXPECT_EQ(dram.rowOf(0), 0u);
+    // 8 banks x 2048-byte rows: row increments every 8*32 lines.
+    EXPECT_EQ(dram.rowOf(8 * 32 * kLineBytes), 1u);
+}
+
+TEST(Dram, RowHitFasterThanConflict)
+{
+    DramModel dram(1, params());
+    const DramResult first = dram.access(0, 0, 0);
+    // Same row again, long after: row hit.
+    const DramResult hit = dram.access(0, 8 * kLineBytes, 1000);
+    // Different row, same bank: conflict.
+    const DramResult conflict =
+        dram.access(0, 8 * 32 * kLineBytes, 2000);
+    EXPECT_FALSE(hit.rowConflict);
+    EXPECT_TRUE(conflict.rowConflict);
+    EXPECT_LT(hit.serviceCycles, conflict.serviceCycles);
+    EXPECT_GT(first.serviceCycles, 0u);
+}
+
+TEST(Dram, UncontendedLatencyComposition)
+{
+    const DramParams p = params();
+    DramModel dram(1, p);
+    dram.access(0, 0, 0); // open the row
+    const DramResult hit = dram.access(0, 8 * kLineBytes, 1000);
+    EXPECT_EQ(hit.serviceCycles,
+              p.busCycles + p.rowHitCycles + p.dataCycles);
+}
+
+TEST(Dram, BusContentionAttributedToOtherCore)
+{
+    DramModel dram(2, params());
+    dram.access(0, 0, 100);
+    // Core 1 issues while core 0's request occupies the bus.
+    const DramResult r = dram.access(1, kLineBytes, 101);
+    EXPECT_GT(r.busWait, 0u);
+    EXPECT_EQ(r.busWaitOther, r.busWait);
+}
+
+TEST(Dram, BankContentionAttributed)
+{
+    DramModel dram(2, params());
+    dram.access(0, 0, 100);
+    // Same bank (bank 0), issued right after: waits for the bank.
+    const DramResult r = dram.access(1, 8 * kLineBytes, 100);
+    EXPECT_GT(r.bankWaitOther, 0u);
+}
+
+TEST(Dram, OraAttributesPageConflictToOtherCore)
+{
+    DramModel dram(2, params());
+    // Core 0 opens row 0 of bank 0.
+    dram.access(0, 0, 0);
+    // Core 1 opens a different row of bank 0.
+    dram.access(1, 8 * 32 * kLineBytes, 1000);
+    // Core 0 returns to its row: conflict caused by core 1.
+    const DramResult r = dram.access(0, 0, 2000);
+    EXPECT_TRUE(r.rowConflict);
+    EXPECT_TRUE(r.pageConflictByOther);
+    EXPECT_GT(r.pageConflictPenalty, 0u);
+}
+
+TEST(Dram, OwnPageConflictNotAttributed)
+{
+    DramModel dram(2, params());
+    dram.access(0, 0, 0);
+    // Core 0 itself opens another row in bank 0.
+    dram.access(0, 8 * 32 * kLineBytes, 1000);
+    // Returning to row 0: conflict, but caused by core 0 itself.
+    const DramResult r = dram.access(0, 0, 2000);
+    EXPECT_TRUE(r.rowConflict);
+    EXPECT_FALSE(r.pageConflictByOther);
+}
+
+TEST(Dram, ResetStatsZeroes)
+{
+    DramModel dram(1, params());
+    dram.access(0, 0, 0);
+    dram.resetStats();
+    EXPECT_EQ(dram.stats(0).accesses, 0u);
+}
+
+/** Property sweep: completion times are self-consistent (completeAt =
+ *  now + serviceCycles, monotone bus reservations never overlap). */
+class DramStream : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DramStream, ScheduleIsConsistent)
+{
+    const int ncores = GetParam();
+    DramModel dram(ncores, params());
+    Cycles now = 0;
+    std::uint64_t last_complete = 0;
+    for (int i = 0; i < 2000; ++i) {
+        now += (i * 7) % 23;
+        const CoreId core = i % ncores;
+        const Addr addr = static_cast<Addr>((i * 2654435761u) % (1 << 26));
+        const DramResult r = dram.access(core, addr, now);
+        EXPECT_EQ(r.completeAt, now + r.serviceCycles);
+        EXPECT_GE(r.completeAt, now + params().busCycles +
+                                    params().rowHitCycles +
+                                    params().dataCycles);
+        EXPECT_LE(r.busWaitOther, r.busWait);
+        last_complete = std::max<std::uint64_t>(last_complete,
+                                                r.completeAt);
+    }
+    EXPECT_GT(last_complete, now);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, DramStream, ::testing::Values(1, 2, 8, 16));
+
+} // namespace
+} // namespace sst

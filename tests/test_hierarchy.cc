@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the cache hierarchy: L1/LLC paths, MSI coherence,
+ * coherency-miss classification, inter-thread classification, inclusion
+ * and writebacks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+
+namespace sst {
+namespace {
+
+CacheParams
+smallParams()
+{
+    CacheParams p;
+    p.l1Bytes = 4 * 1024;
+    p.l1Ways = 4;
+    p.llcBytes = 64 * 1024;
+    p.llcWays = 8;
+    p.atdSamplingFactor = 1; // sample everything for deterministic tests
+    return p;
+}
+
+TEST(Hierarchy, ColdMissThenHits)
+{
+    CacheHierarchy h(2, smallParams());
+    const Addr addr = 0x1000;
+    const AccessOutcome first = h.access(0, addr, false);
+    EXPECT_FALSE(first.l1Hit);
+    EXPECT_FALSE(first.llcHit);
+    EXPECT_TRUE(first.dramAccess());
+
+    const AccessOutcome second = h.access(0, addr, false);
+    EXPECT_TRUE(second.l1Hit);
+    EXPECT_EQ(h.stats(0).l1Hits, 1u);
+    EXPECT_EQ(h.stats(0).llcMisses, 1u);
+}
+
+TEST(Hierarchy, SecondCoreHitsLlcNotL1)
+{
+    CacheHierarchy h(2, smallParams());
+    const Addr addr = 0x2000;
+    h.access(0, addr, false);
+    const AccessOutcome out = h.access(1, addr, false);
+    EXPECT_FALSE(out.l1Hit);
+    EXPECT_TRUE(out.llcHit);
+    // Core 1 never brought it privately: inter-thread hit.
+    EXPECT_TRUE(out.interThreadHit);
+}
+
+TEST(Hierarchy, WriteInvalidatesOtherL1Copies)
+{
+    CacheHierarchy h(2, smallParams());
+    const Addr addr = 0x3000;
+    h.access(0, addr, false);
+    h.access(1, addr, false);
+    // Core 1 writes: core 0's copy must be invalidated.
+    h.access(1, addr, true);
+    const AccessOutcome out = h.access(0, addr, false);
+    EXPECT_FALSE(out.l1Hit);
+    EXPECT_TRUE(out.coherencyMiss);
+    EXPECT_TRUE(out.llcHit);
+    EXPECT_EQ(h.stats(0).invalidationsReceived, 1u);
+    EXPECT_EQ(h.stats(0).coherencyMisses, 1u);
+}
+
+TEST(Hierarchy, DirtyInOtherL1TriggersTransfer)
+{
+    CacheHierarchy h(2, smallParams());
+    const Addr addr = 0x4000;
+    h.access(0, addr, true); // core 0 has the line modified
+    const AccessOutcome out = h.access(1, addr, false);
+    EXPECT_TRUE(out.llcHit);
+    EXPECT_TRUE(out.dirtyInOtherL1);
+}
+
+TEST(Hierarchy, WriteHitUpgradeGainsExclusivity)
+{
+    CacheHierarchy h(2, smallParams());
+    const Addr addr = 0x5000;
+    h.access(0, addr, false);
+    h.access(1, addr, false);
+    // Core 0 upgrades its shared copy.
+    const AccessOutcome up = h.access(0, addr, true);
+    EXPECT_TRUE(up.l1Hit);
+    // Core 1 re-reads: coherency miss + dirty transfer from core 0.
+    const AccessOutcome re = h.access(1, addr, false);
+    EXPECT_TRUE(re.coherencyMiss);
+    EXPECT_TRUE(re.dirtyInOtherL1);
+}
+
+TEST(Hierarchy, InterThreadMissClassification)
+{
+    CacheParams params = smallParams();
+    CacheHierarchy h(2, params);
+    // Core 0 loads a line; core 1 thrashes the LLC set until it is
+    // evicted; core 0's re-access misses the LLC but hits its ATD.
+    const Addr line0 = 0;
+    h.access(0, line0 * kLineBytes, false);
+    const int sets = static_cast<int>(params.llcBytes / kLineBytes) /
+                     params.llcWays;
+    for (int w = 1; w <= params.llcWays + 2; ++w) {
+        h.access(1,
+                 static_cast<Addr>(w) * static_cast<Addr>(sets) *
+                     kLineBytes,
+                 false);
+    }
+    const AccessOutcome out = h.access(0, line0, false);
+    EXPECT_FALSE(out.llcHit);
+    EXPECT_TRUE(out.interThreadMiss)
+        << "evicted by another core but resident in the private shadow";
+}
+
+TEST(Hierarchy, InclusiveBackInvalidation)
+{
+    CacheParams params = smallParams();
+    CacheHierarchy h(2, params);
+    const Addr addr = 0;
+    h.access(0, addr, false);
+    // Evict the line from the LLC via core 1's conflicting traffic.
+    const int sets = static_cast<int>(params.llcBytes / kLineBytes) /
+                     params.llcWays;
+    for (int w = 1; w <= params.llcWays + 2; ++w) {
+        h.access(1,
+                 static_cast<Addr>(w) * static_cast<Addr>(sets) *
+                     kLineBytes,
+                 false);
+    }
+    // Core 0's L1 copy must be gone (inclusion).
+    const AccessOutcome out = h.access(0, addr, false);
+    EXPECT_FALSE(out.l1Hit);
+    EXPECT_FALSE(out.coherencyMiss) << "capacity, not coherence";
+}
+
+TEST(Hierarchy, DirtyVictimWritesBack)
+{
+    CacheParams params = smallParams();
+    CacheHierarchy h(1, params);
+    const Addr addr = 0;
+    h.access(0, addr, true); // dirty line
+    const int sets = static_cast<int>(params.llcBytes / kLineBytes) /
+                     params.llcWays;
+    bool saw_writeback = false;
+    for (int w = 1; w <= params.llcWays + 2; ++w) {
+        const AccessOutcome out = h.access(
+            0,
+            static_cast<Addr>(w) * static_cast<Addr>(sets) * kLineBytes,
+            false);
+        if (out.victimWriteback && out.victimLine == lineNum(addr))
+            saw_writeback = true;
+    }
+    EXPECT_TRUE(saw_writeback);
+}
+
+TEST(Hierarchy, L1EvictionWritesDirtyDataToLlc)
+{
+    CacheParams params = smallParams();
+    CacheHierarchy h(2, params);
+    const Addr addr = 0;
+    h.access(0, addr, true); // modified in core 0's L1
+    // Evict from core 0's L1 (4KB, 4 ways -> 16 sets).
+    const int l1_sets = static_cast<int>(params.l1Bytes / kLineBytes) /
+                        params.l1Ways;
+    for (int w = 1; w <= params.l1Ways + 1; ++w) {
+        h.access(0,
+                 static_cast<Addr>(w) * static_cast<Addr>(l1_sets) *
+                     kLineBytes,
+                 false);
+    }
+    // Core 1 reads: data must come from the LLC without a dirty
+    // transfer (the writeback already happened).
+    const AccessOutcome out = h.access(1, addr, false);
+    EXPECT_TRUE(out.llcHit);
+    EXPECT_FALSE(out.dirtyInOtherL1);
+}
+
+TEST(Hierarchy, FlushL1DropsPrivateCopies)
+{
+    CacheHierarchy h(1, smallParams());
+    const Addr addr = 0x7000;
+    h.access(0, addr, false);
+    h.flushL1(0);
+    const AccessOutcome out = h.access(0, addr, false);
+    EXPECT_FALSE(out.l1Hit);
+    EXPECT_TRUE(out.llcHit);
+}
+
+TEST(Hierarchy, ResetStatsZeroesCounters)
+{
+    CacheHierarchy h(1, smallParams());
+    h.access(0, 0x1000, false);
+    h.resetStats();
+    EXPECT_EQ(h.stats(0).l1Accesses, 0u);
+    EXPECT_EQ(h.stats(0).llcMisses, 0u);
+}
+
+TEST(Hierarchy, OracleAtdsTrackEverything)
+{
+    CacheParams params = smallParams();
+    params.atdSamplingFactor = 8;
+    params.oracleAtds = true;
+    CacheHierarchy h(2, params);
+    h.access(0, 0x100 * kLineBytes, false);
+    const AccessOutcome out = h.access(1, 0x100 * kLineBytes, false);
+    EXPECT_TRUE(out.oracleInterThreadHit);
+}
+
+} // namespace
+} // namespace sst

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Property tests for the virtual-to-physical page-hash translation:
+ * offsets preserved, determinism, page-granular mapping, and — the
+ * reason it exists — uniform spreading over cache sets and DRAM banks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/phys_map.hh"
+#include "workload/op.hh"
+
+namespace sst {
+namespace {
+
+TEST(PhysMap, PreservesInPageOffset)
+{
+    for (Addr v : {Addr(0x1234), Addr(0x1'0000'0FFF),
+                   Addr(0x8000'0000) + 77}) {
+        EXPECT_EQ(toPhysical(v) % kPageBytes, v % kPageBytes);
+    }
+}
+
+TEST(PhysMap, DeterministicAndPageGranular)
+{
+    const Addr page = 0x1'2345'6000;
+    const Addr frame = toPhysical(page) / kPageBytes;
+    for (Addr off = 0; off < kPageBytes; off += 64)
+        EXPECT_EQ(toPhysical(page + off) / kPageBytes, frame);
+    EXPECT_EQ(toPhysical(page), toPhysical(page));
+}
+
+TEST(PhysMap, StaysWithinPhysicalSpace)
+{
+    for (Addr v = 0; v < (Addr(1) << 40); v += (Addr(1) << 33) + 4097)
+        EXPECT_LT(toPhysical(v), Addr(1) << kPhysBits);
+}
+
+TEST(PhysMap, SpreadsRegionsAcrossLlcSets)
+{
+    // The raw virtual region bases all alias into the low LLC sets (the
+    // pathology this mapping removes); sampling lines across the
+    // regions, the physical set distribution must cover the index space
+    // roughly uniformly.
+    constexpr int kSets = 2048;
+    std::map<std::uint64_t, int> set_counts;
+    int samples = 0;
+    for (ThreadId t = 0; t < 16; ++t) {
+        for (int i = 0; i < 512; ++i) {
+            const Addr phys = toPhysical(addrmap::privateBase(t) +
+                                         Addr(i) * kLineBytes);
+            set_counts[lineNum(phys) % kSets]++;
+            ++samples;
+        }
+    }
+    // 8192 samples over 2048 sets: expect broad coverage, no pile-ups.
+    EXPECT_GE(set_counts.size(), 1500u);
+    for (const auto &[set, count] : set_counts)
+        EXPECT_LE(count, 16) << "set " << set;
+    EXPECT_EQ(samples, 8192);
+}
+
+TEST(PhysMap, LinesWithinPagesCoverAllBanks)
+{
+    // Banks interleave by line; within each 4KB page all 8 banks are
+    // touched, and the page hash cannot break that (offsets preserved).
+    std::map<int, int> bank_counts;
+    const Addr base = addrmap::kSharedBase;
+    for (int p = 0; p < 8; ++p) {
+        for (Addr l = 0; l < kPageBytes / kLineBytes; ++l) {
+            const Addr phys = toPhysical(base + Addr(p) * kPageBytes +
+                                         l * kLineBytes);
+            bank_counts[static_cast<int>(lineNum(phys) % 8)]++;
+        }
+    }
+    ASSERT_EQ(bank_counts.size(), 8u);
+    for (const auto &[bank, count] : bank_counts)
+        EXPECT_EQ(count, 8 * 64 / 8) << "bank " << bank;
+}
+
+TEST(PhysMap, DistinctRegionsRarelyCollide)
+{
+    // Sample lines from all workload regions; physical line numbers
+    // should be unique (no aliasing between regions).
+    std::map<Addr, int> lines;
+    for (ThreadId t = 0; t < 16; ++t) {
+        for (int i = 0; i < 64; ++i) {
+            lines[lineNum(toPhysical(addrmap::privateBase(t) +
+                                     Addr(i) * kLineBytes))]++;
+        }
+    }
+    for (int i = 0; i < 64; ++i) {
+        lines[lineNum(
+            toPhysical(addrmap::kSharedBase + Addr(i) * kLineBytes))]++;
+    }
+    for (const auto &[line, count] : lines)
+        EXPECT_EQ(count, 1) << "physical line collision at " << line;
+}
+
+} // namespace
+} // namespace sst

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative tag array: LRU
+ * behaviour, invalidation semantics, and geometry sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc.hh"
+
+namespace sst {
+namespace {
+
+TEST(SetAssoc, HitAfterInsert)
+{
+    SetAssocArray a(64 * 1024, 8);
+    EXPECT_EQ(a.findValid(100), nullptr);
+    a.insert(100);
+    ASSERT_NE(a.findValid(100), nullptr);
+    EXPECT_TRUE(a.findValid(100)->valid);
+}
+
+TEST(SetAssoc, LruEvictsOldest)
+{
+    // 2 sets x 2 ways; fill one set and overflow it.
+    SetAssocArray a = SetAssocArray::fromSets(2, 2);
+    const Addr s0_a = 0, s0_b = 2, s0_c = 4; // all map to set 0
+    a.insert(s0_a);
+    a.insert(s0_b);
+    // Touch a so b becomes LRU.
+    a.touch(*a.findValid(s0_a));
+    TagEntry victim;
+    a.insert(s0_c, &victim);
+    EXPECT_TRUE(victim.valid);
+    EXPECT_EQ(victim.line, s0_b);
+    EXPECT_NE(a.findValid(s0_a), nullptr);
+    EXPECT_EQ(a.findValid(s0_b), nullptr);
+    EXPECT_NE(a.findValid(s0_c), nullptr);
+}
+
+TEST(SetAssoc, InsertPrefersFreeWay)
+{
+    SetAssocArray a = SetAssocArray::fromSets(2, 2);
+    a.insert(0);
+    TagEntry victim;
+    a.insert(2, &victim); // same set, free way available
+    EXPECT_FALSE(victim.valid);
+}
+
+TEST(SetAssoc, InvalidateKeepTagMarksCoherence)
+{
+    SetAssocArray a(4 * 1024, 4);
+    a.insert(42);
+    EXPECT_TRUE(a.invalidate(42, /*keep_tag=*/true));
+    EXPECT_EQ(a.findValid(42), nullptr);
+    TagEntry *stale = a.findAny(42);
+    ASSERT_NE(stale, nullptr);
+    EXPECT_TRUE(stale->coherenceInvalidated);
+    EXPECT_FALSE(stale->valid);
+}
+
+TEST(SetAssoc, InvalidateDropRemovesEntry)
+{
+    SetAssocArray a(4 * 1024, 4);
+    a.insert(42);
+    EXPECT_TRUE(a.invalidate(42, /*keep_tag=*/false));
+    EXPECT_EQ(a.findAny(42), nullptr);
+}
+
+TEST(SetAssoc, InvalidateMissingReturnsFalse)
+{
+    SetAssocArray a(4 * 1024, 4);
+    EXPECT_FALSE(a.invalidate(7));
+}
+
+TEST(SetAssoc, ReinsertReusesCoherenceInvalidatedEntry)
+{
+    SetAssocArray a = SetAssocArray::fromSets(2, 2);
+    a.insert(0);
+    a.invalidate(0, /*keep_tag=*/true);
+    TagEntry victim;
+    TagEntry &e = a.insert(0, &victim);
+    EXPECT_FALSE(victim.valid); // no live line displaced
+    EXPECT_TRUE(e.valid);
+    EXPECT_FALSE(e.coherenceInvalidated);
+}
+
+TEST(SetAssoc, ValidCount)
+{
+    SetAssocArray a(4 * 1024, 4);
+    EXPECT_EQ(a.validCount(), 0u);
+    a.insert(1);
+    a.insert(2);
+    EXPECT_EQ(a.validCount(), 2u);
+    a.invalidate(1);
+    EXPECT_EQ(a.validCount(), 1u);
+}
+
+/** Property sweep over geometries: capacity is respected and a working
+ *  set no larger than one set's ways never evicts. */
+class SetAssocGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(SetAssocGeometry, WorkingSetWithinWaysNeverEvicts)
+{
+    const auto [sets, ways] = GetParam();
+    SetAssocArray a = SetAssocArray::fromSets(sets, ways);
+
+    // `ways` lines in the same set, accessed round-robin: no evictions.
+    for (int round = 0; round < 4; ++round) {
+        for (int w = 0; w < ways; ++w) {
+            const Addr line = static_cast<Addr>(w) *
+                              static_cast<Addr>(sets);
+            TagEntry victim;
+            if (TagEntry *e = a.findValid(line)) {
+                a.touch(*e);
+            } else {
+                a.insert(line, &victim);
+                EXPECT_FALSE(victim.valid);
+            }
+        }
+    }
+    EXPECT_EQ(a.validCount(), static_cast<std::uint64_t>(ways));
+}
+
+TEST_P(SetAssocGeometry, CapacityBound)
+{
+    const auto [sets, ways] = GetParam();
+    SetAssocArray a = SetAssocArray::fromSets(sets, ways);
+    for (Addr line = 0; line < static_cast<Addr>(4 * sets * ways); ++line)
+        a.insert(line);
+    EXPECT_LE(a.validCount(),
+              static_cast<std::uint64_t>(sets) *
+                  static_cast<std::uint64_t>(ways));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SetAssocGeometry,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(2, 4),
+                      std::make_tuple(16, 8), std::make_tuple(64, 16),
+                      std::make_tuple(2048, 16)));
+
+} // namespace
+} // namespace sst

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit and property tests for the speedup stack math (Section 2,
+ * Equations 2-6): the stack identity (components sum to N), estimated =
+ * base + positive interference, and the validation error metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/speedup_stack.hh"
+#include "util/rng.hh"
+
+namespace sst {
+namespace {
+
+TEST(SpeedupStack, PerfectScalingIsN)
+{
+    std::vector<CycleComponents> comps(8); // all-zero components
+    const SpeedupStack stack = buildSpeedupStack(comps, 1000);
+    EXPECT_EQ(stack.nthreads, 8);
+    EXPECT_DOUBLE_EQ(stack.baseSpeedup, 8.0);
+    EXPECT_DOUBLE_EQ(stack.estimatedSpeedup, 8.0);
+    EXPECT_TRUE(stack.sumsToHeight());
+}
+
+TEST(SpeedupStack, OverheadsReduceBase)
+{
+    std::vector<CycleComponents> comps(4);
+    comps[0].spin = 250;  // of Tp = 1000: 0.25 speedup units
+    comps[1].yield = 500; // 0.5 units
+    const SpeedupStack stack = buildSpeedupStack(comps, 1000);
+    EXPECT_DOUBLE_EQ(stack.spin, 0.25);
+    EXPECT_DOUBLE_EQ(stack.yield, 0.5);
+    EXPECT_DOUBLE_EQ(stack.baseSpeedup, 4.0 - 0.75);
+    EXPECT_TRUE(stack.sumsToHeight());
+}
+
+TEST(SpeedupStack, PositiveInterferenceAddsToEstimate)
+{
+    std::vector<CycleComponents> comps(2);
+    comps[0].posLlc = 100;
+    comps[0].negLlc = 300;
+    const SpeedupStack stack = buildSpeedupStack(comps, 1000);
+    EXPECT_DOUBLE_EQ(stack.posLlc, 0.1);
+    EXPECT_DOUBLE_EQ(stack.negLlc, 0.3);
+    EXPECT_DOUBLE_EQ(stack.netNegLlc(), 0.2);
+    EXPECT_DOUBLE_EQ(stack.estimatedSpeedup,
+                     stack.baseSpeedup + stack.posLlc);
+    EXPECT_TRUE(stack.sumsToHeight());
+}
+
+TEST(SpeedupStack, ErrorMetricIsEq6)
+{
+    EXPECT_DOUBLE_EQ(speedupError(8.0, 7.0, 16), 1.0 / 16.0);
+    EXPECT_DOUBLE_EQ(speedupError(7.0, 8.0, 16), -1.0 / 16.0);
+    EXPECT_DOUBLE_EQ(speedupError(5.0, 5.0, 8), 0.0);
+}
+
+TEST(SpeedupStack, ComponentNamesDistinct)
+{
+    std::set<std::string> names;
+    for (const StackComponent comp : allStackComponents())
+        names.insert(stackComponentName(comp));
+    EXPECT_EQ(names.size(), allStackComponents().size());
+}
+
+/** Property: for random component vectors, the display components
+ *  always sum to exactly N (Eq. 4 rearrangement). */
+class StackIdentity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StackIdentity, ComponentsSumToHeight)
+{
+    const int nthreads = GetParam();
+    Rng rng(nthreads * 31 + 1);
+    for (int trial = 0; trial < 200; ++trial) {
+        const Cycles tp = 1000 + rng.below(100000);
+        std::vector<CycleComponents> comps(
+            static_cast<std::size_t>(nthreads));
+        for (auto &c : comps) {
+            c.negLlc = rng.uniform() * tp / 4;
+            c.posLlc = rng.uniform() * tp / 8;
+            c.negMem = rng.uniform() * tp / 4;
+            c.spin = rng.uniform() * tp / 4;
+            c.yield = rng.uniform() * tp / 2;
+            c.imbalance = rng.uniform() * tp / 8;
+            c.coherency = rng.uniform() * tp / 16;
+        }
+        const SpeedupStack stack = buildSpeedupStack(comps, tp);
+        EXPECT_TRUE(stack.sumsToHeight(1e-6))
+            << "trial " << trial << " nthreads " << nthreads;
+        EXPECT_NEAR(stack.estimatedSpeedup,
+                    stack.baseSpeedup + stack.posLlc, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, StackIdentity,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+} // namespace
+} // namespace sst

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the Tian et al. and Li et al. spin detectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sync/spin_detect.hh"
+
+namespace sst {
+namespace {
+
+TEST(Tian, DetectsBasicSpin)
+{
+    TianSpinDetector tian;
+    const PC pc = 0x100;
+    const Addr addr = 0xF000;
+    Cycles now = 1000;
+    // Spin: same value repeatedly.
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(tian.observeLoad(pc, addr, 1, false, now), 0u);
+        now += 20;
+    }
+    // Another core releases: the whole interval is spin time.
+    const Cycles spin = tian.observeLoad(pc, addr, 0, true, now);
+    EXPECT_EQ(spin, now - 1000);
+    EXPECT_EQ(tian.detectedCycles(), spin);
+}
+
+TEST(Tian, BelowThresholdNotMarked)
+{
+    TianSpinDetector::Params p;
+    p.markThreshold = 4;
+    TianSpinDetector tian(p);
+    const PC pc = 0x100;
+    tian.observeLoad(pc, 0xF000, 1, false, 0);
+    tian.observeLoad(pc, 0xF000, 1, false, 20);
+    // Value changes before the threshold: nothing detected.
+    EXPECT_EQ(tian.observeLoad(pc, 0xF000, 0, true, 40), 0u);
+}
+
+TEST(Tian, OwnWriteDoesNotCountAsSpin)
+{
+    TianSpinDetector tian;
+    const PC pc = 0x100;
+    Cycles now = 0;
+    for (int i = 0; i < 10; ++i) {
+        tian.observeLoad(pc, 0xF000, 1, false, now);
+        now += 20;
+    }
+    // Value changed, but written by this core: not a spin.
+    EXPECT_EQ(tian.observeLoad(pc, 0xF000, 2, false, now), 0u);
+}
+
+TEST(Tian, AddressChangeRestartsTracking)
+{
+    TianSpinDetector tian;
+    const PC pc = 0x100;
+    Cycles now = 0;
+    for (int i = 0; i < 10; ++i) {
+        tian.observeLoad(pc, 0xF000, 1, false, now);
+        now += 20;
+    }
+    tian.observeLoad(pc, 0xF040, 1, false, now); // different address
+    now += 20;
+    // Change at the new address shortly after: interval restarted.
+    EXPECT_EQ(tian.observeLoad(pc, 0xF040, 2, true, now), 0u);
+}
+
+TEST(Tian, LruReplacementKeepsHotEntries)
+{
+    TianSpinDetector::Params p;
+    p.tableEntries = 2;
+    TianSpinDetector tian(p);
+    Cycles now = 0;
+    // Fill with two PCs, keep PC A hot, then add a third.
+    for (int i = 0; i < 6; ++i) {
+        tian.observeLoad(0xA, 0x1, 1, false, now++);
+        tian.observeLoad(0xB, 0x2, 1, false, now++);
+    }
+    tian.observeLoad(0xA, 0x1, 1, false, now++);
+    tian.observeLoad(0xC, 0x3, 1, false, now++); // evicts 0xB (LRU)
+    // PC A is still tracked and marked: release detects.
+    const Cycles spin = tian.observeLoad(0xA, 0x1, 0, true, now);
+    EXPECT_GT(spin, 0u);
+}
+
+TEST(Tian, ChangingValuesNeverDetect)
+{
+    TianSpinDetector tian;
+    Cycles now = 0;
+    // A data load whose value changes on every observation (real work).
+    for (std::uint64_t v = 0; v < 100; ++v) {
+        EXPECT_EQ(tian.observeLoad(0x200, 0x8000, v, true, now), 0u);
+        now += 10;
+    }
+    EXPECT_EQ(tian.detectedCycles(), 0u);
+}
+
+TEST(Tian, HardwareBitsMatchPaper)
+{
+    // 8 entries x (64 PC + 64 addr + 64 data + 1 mark + 24 timestamp)
+    // = 1736 bits = 217 bytes (Section 4.7).
+    EXPECT_EQ(TianSpinDetector::hardwareBits(), 1736u);
+    EXPECT_EQ(TianSpinDetector::hardwareBits() / 8, 217u);
+}
+
+TEST(Li, DetectsUnchangedState)
+{
+    LiSpinDetector li;
+    const PC pc = 0x300;
+    Cycles now = 0;
+    li.observeBackwardBranch(pc, 42, now);
+    Cycles total = 0;
+    for (int i = 0; i < 5; ++i) {
+        now += 20;
+        total += li.observeBackwardBranch(pc, 42, now);
+    }
+    EXPECT_EQ(total, 100u);
+    EXPECT_EQ(li.detectedCycles(), 100u);
+}
+
+TEST(Li, ChangedStateNotSpin)
+{
+    LiSpinDetector li;
+    const PC pc = 0x300;
+    Cycles now = 0;
+    std::uint64_t state = 0;
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(li.observeBackwardBranch(pc, ++state, now), 0u);
+        now += 20;
+    }
+}
+
+TEST(Li, SeparateBranchesTrackedIndependently)
+{
+    LiSpinDetector li;
+    Cycles now = 0;
+    li.observeBackwardBranch(0x10, 1, now);
+    li.observeBackwardBranch(0x20, 2, now);
+    now += 50;
+    EXPECT_EQ(li.observeBackwardBranch(0x10, 1, now), 50u);
+    EXPECT_EQ(li.observeBackwardBranch(0x20, 3, now), 0u);
+}
+
+} // namespace
+} // namespace sst
