@@ -3,42 +3,61 @@
  * Figure 1: speedup as a function of the number of cores for
  * blackscholes, facesim (PARSEC) and cholesky (SPLASH-2), for 1, 2, 4,
  * 8 and 16 threads.
+ *
+ * The 3 x 4 grid executes on the parallel experiment driver, which
+ * computes each benchmark's 1-thread baseline exactly once and shares
+ * it across all of that benchmark's thread counts (the 1-thread row is
+ * by definition 1.00 and is not re-simulated).
+ *
+ * Usage: fig01_speedup_curves [jobs]
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
-#include "core/experiment.hh"
+#include "driver/sweep.hh"
 #include "util/format.hh"
 #include "workload/profile.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<std::string> benchmarks = {
         "blackscholes_medium", "facesim_medium", "cholesky"};
-    const std::vector<int> threads = {1, 2, 4, 8, 16};
+    const std::vector<int> threads = {2, 4, 8, 16};
 
     std::printf("Figure 1: speedup vs number of threads/cores\n\n");
 
+    sst::SweepGrid grid;
+    grid.profiles = benchmarks;
+    grid.threads = threads;
+
+    sst::DriverOptions opts;
+    opts.jobs = argc > 1 ? std::atoi(argv[1]) : 0; // 0 = hardware
+
+    const std::vector<sst::JobSpec> specs = sst::expandGrid(grid);
+    sst::BatchStats stats;
+    const std::vector<sst::JobResult> results =
+        sst::runExperimentBatch(specs, opts, &stats);
+
     sst::TextTable table;
     table.setHeader({"benchmark", "1", "2", "4", "8", "16"});
-    for (const auto &label : benchmarks) {
-        const sst::BenchmarkProfile &profile = sst::profileByLabel(label);
-        sst::SimParams params;
-        const sst::RunResult baseline =
-            sst::runSingleThreaded(params, profile);
-
-        std::vector<std::string> row = {label, "1.00"};
-        for (std::size_t i = 1; i < threads.size(); ++i) {
-            sst::SimParams p;
-            p.ncores = threads[i];
-            const sst::SpeedupExperiment exp = sst::runWithBaseline(
-                p, profile, threads[i], baseline);
-            row.push_back(sst::fmtDouble(exp.actualSpeedup, 2));
+    // expandGrid() is profile-major: one contiguous block per benchmark.
+    for (std::size_t base = 0; base < specs.size();
+         base += threads.size()) {
+        std::vector<std::string> row = {specs[base].profile.label(),
+                                        "1.00"};
+        for (std::size_t i = 0; i < threads.size(); ++i) {
+            const sst::JobResult &r = results[base + i];
+            row.push_back(r.ok()
+                              ? sst::fmtDouble(r.exp.actualSpeedup, 2)
+                              : std::string("fail"));
         }
         table.addRow(row);
     }
     std::printf("%s\n", table.render().c_str());
+    std::printf("(%zu jobs, %zu shared baselines)\n", stats.total,
+                stats.baselinesComputed);
     return 0;
 }

@@ -4,49 +4,72 @@
  * benchmark at 2, 4, 8 and 16 threads, plus the average absolute error
  * per thread count. The paper reports 3.0%, 3.4%, 2.8% and 5.1% for 2,
  * 4, 8 and 16 threads respectively.
+ *
+ * The 28 x 4 grid executes on the parallel experiment driver; the
+ * 1-thread baseline of each benchmark is computed once and shared by
+ * all four of its thread counts.
+ *
+ * Usage: fig04_validation [jobs]
  */
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
-#include "core/experiment.hh"
+#include "driver/sweep.hh"
 #include "util/format.hh"
 #include "util/stats.hh"
 #include "workload/profile.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<int> threads = {2, 4, 8, 16};
 
     std::printf("Figure 4: actual vs estimated speedup "
                 "(error metric: Eq. 6, (S^ - S)/N)\n\n");
 
+    sst::SweepGrid grid;
+    grid.profiles = sst::allProfileLabels();
+    grid.threads = threads;
+
+    sst::DriverOptions opts;
+    opts.jobs = argc > 1 ? std::atoi(argv[1]) : 0; // 0 = hardware
+
+    const std::vector<sst::JobSpec> specs = sst::expandGrid(grid);
+    const std::vector<sst::JobResult> results =
+        sst::runExperimentBatch(specs, opts);
+
     sst::TextTable table;
     table.setHeader({"benchmark", "S(2)", "S^(2)", "S(4)", "S^(4)", "S(8)",
                      "S^(8)", "S(16)", "S^(16)", "err16"});
 
+    // expandGrid() is profile-major: each benchmark contributes one
+    // contiguous block of |threads| jobs, in thread order.
     std::vector<sst::RunningStat> err(threads.size());
-    for (const auto &profile : sst::benchmarkSuite()) {
-        sst::SimParams base;
-        const sst::RunResult baseline =
-            sst::runSingleThreaded(base, profile);
-
-        std::vector<std::string> row = {profile.label()};
+    for (std::size_t base = 0; base < specs.size();
+         base += threads.size()) {
+        std::vector<std::string> row = {specs[base].profile.label()};
         double err16 = 0.0;
+        bool err16Valid = false;
         for (std::size_t i = 0; i < threads.size(); ++i) {
-            sst::SimParams params;
-            params.ncores = threads[i];
-            const sst::SpeedupExperiment exp = sst::runWithBaseline(
-                params, profile, threads[i], baseline);
-            row.push_back(sst::fmtDouble(exp.actualSpeedup, 2));
-            row.push_back(sst::fmtDouble(exp.estimatedSpeedup, 2));
-            err[i].add(std::fabs(exp.error));
-            if (threads[i] == 16)
-                err16 = exp.error;
+            const sst::JobResult &r = results[base + i];
+            if (!r.ok()) {
+                row.push_back("fail");
+                row.push_back("fail");
+                continue;
+            }
+            row.push_back(sst::fmtDouble(r.exp.actualSpeedup, 2));
+            row.push_back(sst::fmtDouble(r.exp.estimatedSpeedup, 2));
+            err[i].add(std::fabs(r.exp.error));
+            if (threads[i] == 16) {
+                err16 = r.exp.error;
+                err16Valid = true;
+            }
         }
-        row.push_back(sst::fmtPercent(err16, 1));
+        row.push_back(err16Valid ? sst::fmtPercent(err16, 1)
+                                 : std::string("fail"));
         table.addRow(row);
     }
     std::printf("%s\n", table.render().c_str());

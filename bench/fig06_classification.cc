@@ -5,19 +5,35 @@
  * <5x) and annotated with the three largest scaling delimiters from the
  * speedup stack, the suite, and the achieved speedup — next to the
  * paper's reported speedup for comparison.
+ *
+ * The 28 experiments execute on the parallel experiment driver.
+ *
+ * Usage: fig06_classification [jobs]
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/classify.hh"
-#include "core/experiment.hh"
+#include "driver/sweep.hh"
 #include "util/format.hh"
 #include "workload/profile.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Figure 6: classification tree at 16 threads\n\n");
+
+    sst::SweepGrid grid;
+    grid.profiles = sst::allProfileLabels();
+    grid.threads = {16};
+
+    sst::DriverOptions opts;
+    opts.jobs = argc > 1 ? std::atoi(argv[1]) : 0; // 0 = hardware
+
+    const std::vector<sst::JobSpec> specs = sst::expandGrid(grid);
+    const std::vector<sst::JobResult> results =
+        sst::runExperimentBatch(specs, opts);
 
     std::vector<sst::ClassifiedBenchmark> rows;
     sst::TextTable compare;
@@ -25,11 +41,15 @@ main()
                        "speedup (paper)", "class (measured)",
                        "class (paper)"});
 
-    for (const auto &profile : sst::benchmarkSuite()) {
-        sst::SimParams params;
-        params.ncores = 16;
-        const sst::SpeedupExperiment exp =
-            sst::runSpeedupExperiment(params, profile, 16);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const sst::BenchmarkProfile &profile = specs[i].profile;
+        if (!results[i].ok()) {
+            std::fprintf(stderr, "%s failed: %s\n",
+                         profile.label().c_str(),
+                         results[i].error.c_str());
+            continue;
+        }
+        const sst::SpeedupExperiment &exp = results[i].exp;
         rows.push_back(sst::classifyBenchmark(
             profile.label(), profile.suite, exp.actualSpeedup, exp.stack));
         compare.addRow(

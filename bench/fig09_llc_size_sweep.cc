@@ -6,34 +6,50 @@
  * (fewer capacity conflicts) while positive interference stays roughly
  * constant (a program property), so the net component shrinks and can
  * turn negative (i.e., sharing becomes a net win).
+ *
+ * The four LLC configurations execute concurrently on the parallel
+ * experiment driver.
+ *
+ * Usage: fig09_llc_size_sweep [jobs]
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
-#include "core/experiment.hh"
+#include "driver/sweep.hh"
 #include "util/format.hh"
 #include "workload/profile.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const sst::BenchmarkProfile &profile = sst::profileByLabel("cholesky");
-    const std::vector<std::uint64_t> sizes_mb = {2, 4, 8, 16};
-
     std::printf("Figure 9: cholesky LLC interference vs LLC size "
                 "(16 cores)\n\n");
+
+    sst::SweepGrid grid;
+    grid.profiles = {"cholesky"};
+    grid.threads = {16};
+    grid.llcBytes = sst::parseSizeList("2M,4M,8M,16M");
+
+    sst::DriverOptions opts;
+    opts.jobs = argc > 1 ? std::atoi(argv[1]) : 0; // 0 = hardware
+
+    const std::vector<sst::JobSpec> specs = sst::expandGrid(grid);
+    const std::vector<sst::JobResult> results =
+        sst::runExperimentBatch(specs, opts);
 
     sst::TextTable table;
     table.setHeader({"LLC size", "neg cache interference",
                      "pos cache interference", "net interference"});
-    for (const std::uint64_t mb : sizes_mb) {
-        sst::SimParams params;
-        params.ncores = 16;
-        params.cache.llcBytes = mb * 1024 * 1024;
-        const sst::SpeedupExperiment exp =
-            sst::runSpeedupExperiment(params, profile, 16);
-        table.addRow({std::to_string(mb) + "MB",
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!results[i].ok()) {
+            std::fprintf(stderr, "job failed: %s\n",
+                         results[i].error.c_str());
+            continue;
+        }
+        const sst::SpeedupExperiment &exp = results[i].exp;
+        table.addRow({sst::fmtBytes(specs[i].params.cache.llcBytes),
                       sst::fmtDouble(exp.stack.negLlc, 3),
                       sst::fmtDouble(exp.stack.posLlc, 3),
                       sst::fmtDouble(exp.stack.netNegLlc(), 3)});

@@ -5,14 +5,19 @@
  * components. Not a paper figure by itself, but the working table behind
  * Figures 4 and 6 — and the tool used to tune profiles.
  *
- * Usage: suite_sweep [nthreads]
+ * Jobs execute on the parallel experiment driver; results are identical
+ * to the old serial loop for any worker count (jobs are pure functions
+ * of their specs).
+ *
+ * Usage: suite_sweep [nthreads] [jobs]
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/classify.hh"
-#include "core/experiment.hh"
+#include "driver/sweep.hh"
 #include "util/format.hh"
 #include "workload/profile.hh"
 
@@ -20,6 +25,18 @@ int
 main(int argc, char **argv)
 {
     const int nthreads = argc > 1 ? std::atoi(argv[1]) : 16;
+    const int jobs = argc > 2 ? std::atoi(argv[2]) : 0; // 0 = hardware
+
+    sst::SweepGrid grid;
+    grid.profiles = sst::allProfileLabels();
+    grid.threads = {nthreads};
+
+    sst::DriverOptions opts;
+    opts.jobs = jobs;
+
+    const std::vector<sst::JobSpec> specs = sst::expandGrid(grid);
+    const std::vector<sst::JobResult> results =
+        sst::runExperimentBatch(specs, opts);
 
     sst::TextTable table;
     table.setHeader({"benchmark", "paper", "actual", "estimated", "err",
@@ -28,15 +45,19 @@ main(int argc, char **argv)
 
     double abs_err_sum = 0.0;
     int count = 0;
-    for (const auto &profile : sst::benchmarkSuite()) {
-        sst::SimParams params;
-        params.ncores = nthreads;
-        const sst::SpeedupExperiment exp =
-            sst::runSpeedupExperiment(params, profile, nthreads);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const sst::BenchmarkProfile &profile = specs[i].profile;
+        if (!results[i].ok()) {
+            std::fprintf(stderr, "%s failed: %s\n",
+                         profile.label().c_str(),
+                         results[i].error.c_str());
+            continue;
+        }
+        const sst::SpeedupExperiment &exp = results[i].exp;
         const auto ranked = sst::rankedDelimiters(exp.stack);
-        auto comp = [&](std::size_t i) {
-            return i < ranked.size()
-                       ? std::string(sst::shortComponentName(ranked[i]))
+        auto comp = [&](std::size_t k) {
+            return k < ranked.size()
+                       ? std::string(sst::shortComponentName(ranked[k]))
                        : std::string("-");
         };
         table.addRow({profile.label(),

@@ -66,4 +66,43 @@ runSpeedupExperiment(const SimParams &params,
     return runWithBaseline(params, profile, nthreads, baseline, opts);
 }
 
+const RunResult &
+BaselineStore::get(const std::string &key, const SimParams &params,
+                   const BenchmarkProfile &profile)
+{
+    std::promise<std::shared_ptr<const RunResult>> promise;
+    std::shared_future<std::shared_ptr<const RunResult>> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = futures_.find(key);
+        if (it == futures_.end()) {
+            future = promise.get_future().share();
+            futures_.emplace(key, future);
+            ++computes_;
+            owner = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (owner) {
+        // Compute outside the lock so other keys proceed concurrently. A
+        // failure propagates to every waiter of the same key.
+        try {
+            promise.set_value(std::make_shared<const RunResult>(
+                runSingleThreaded(params, profile)));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return *future.get();
+}
+
+std::size_t
+BaselineStore::computeCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return computes_;
+}
+
 } // namespace sst

@@ -10,7 +10,11 @@
 #ifndef SST_CORE_EXPERIMENT_HH
 #define SST_CORE_EXPERIMENT_HH
 
+#include <future>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "accounting/report.hh"
 #include "core/speedup_stack.hh"
@@ -69,6 +73,37 @@ SpeedupExperiment runSpeedupExperiment(const SimParams &params,
 
 /** Default report options consistent with @p params. */
 ReportOptions defaultReportOptions(const SimParams &params);
+
+/**
+ * Thread-safe memoization of single-threaded baseline runs, shared by
+ * every job of a batch that sweeps thread counts (or any other parameter
+ * the 1-thread run does not depend on). The first caller of a key
+ * computes the baseline; concurrent callers of the same key block until
+ * it is ready and then share the stored result. Keys are caller-defined:
+ * two keys must be equal iff the baseline runs they describe are
+ * identical (the driver uses a canonical fingerprint of
+ * (profile, params-with-ncores-pinned-to-1)).
+ */
+class BaselineStore
+{
+  public:
+    /**
+     * Return the 1-thread run for @p key, computing it (at most once
+     * per key, even under concurrency) via runSingleThreaded().
+     */
+    const RunResult &get(const std::string &key, const SimParams &params,
+                         const BenchmarkProfile &profile);
+
+    /** Number of baselines actually computed (not lookups). */
+    std::size_t computeCount() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string,
+                       std::shared_future<std::shared_ptr<const RunResult>>>
+        futures_;
+    std::size_t computes_ = 0;
+};
 
 } // namespace sst
 

@@ -1,0 +1,148 @@
+#include "driver.hh"
+
+#include <stdexcept>
+#include <thread>
+
+#include "core/experiment.hh"
+#include "driver/fingerprint.hh"
+#include "driver/result_cache.hh"
+#include "driver/thread_pool.hh"
+
+namespace sst {
+namespace {
+
+/**
+ * Reject specs the simulator would abort on. The driver turns these
+ * into per-job failures instead of process death so a batch survives
+ * one bad entry.
+ */
+void
+validateSpec(const JobSpec &spec)
+{
+    if (spec.nthreads < 1)
+        throw std::invalid_argument(
+            "job '" + spec.profile.label() + "': nthreads must be >= 1, got " +
+            std::to_string(spec.nthreads));
+    if (spec.profile.totalIters == 0)
+        throw std::invalid_argument("job '" + spec.profile.label() +
+                                    "': profile has no work (totalIters == 0)");
+    if (spec.profile.name.empty())
+        throw std::invalid_argument("job: profile has no name");
+    if (spec.params.cache.llcBytes == 0 || spec.params.cache.l1Bytes == 0)
+        throw std::invalid_argument("job '" + spec.profile.label() +
+                                    "': cache sizes must be non-zero");
+}
+
+} // namespace
+
+ExperimentDriver::ExperimentDriver(DriverOptions opts)
+    : opts_(std::move(opts))
+{
+    if (!opts_.cacheDir.empty())
+        cache_ = std::make_unique<ResultCache>(opts_.cacheDir);
+}
+
+ExperimentDriver::~ExperimentDriver() = default;
+
+int
+ExperimentDriver::workerCount() const
+{
+    if (opts_.jobs > 0)
+        return opts_.jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+JobResult
+ExperimentDriver::runOneJob(const JobSpec &spec, BaselineStore &baselines,
+                            ResultCache *cache)
+{
+    JobResult res;
+    try {
+        validateSpec(spec);
+        const Fingerprint fp = fingerprintJob(spec);
+        if (cache && !opts_.refresh) {
+            SpeedupExperiment hit;
+            if (cache->lookup(fp, hit)) {
+                res.status = JobStatus::kCached;
+                res.exp = std::move(hit);
+                return res;
+            }
+        }
+
+        const BenchmarkProfile profile = spec.effectiveProfile();
+        SpeedupExperiment exp;
+        if (opts_.shareBaselines) {
+            // Keyed by the full canonical text (not the hash) so two
+            // distinct baselines can never silently share a slot.
+            const RunResult &baseline = baselines.get(
+                fingerprintBaseline(spec).canonical, spec.params, profile);
+            exp = runWithBaseline(spec.params, profile, spec.nthreads,
+                                  baseline);
+        } else {
+            exp = runSpeedupExperiment(spec.params, profile, spec.nthreads);
+        }
+        if (cache)
+            cache->store(fp, exp);
+        res.status = JobStatus::kOk;
+        res.exp = std::move(exp);
+    } catch (const std::exception &e) {
+        res.status = JobStatus::kFailed;
+        res.error = e.what();
+    }
+    return res;
+}
+
+std::vector<JobResult>
+ExperimentDriver::runBatch(const std::vector<JobSpec> &specs)
+{
+    stats_ = BatchStats{};
+    stats_.total = specs.size();
+
+    std::vector<JobResult> results(specs.size());
+    BaselineStore baselines;
+    ResultCache *cache = cache_.get();
+
+    const int nworkers = workerCount();
+    if (nworkers <= 1 || specs.size() <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            results[i] = runOneJob(specs[i], baselines, cache);
+    } else {
+        WorkStealingPool pool(nworkers);
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            pool.submit([this, i, &specs, &results, &baselines, cache] {
+                results[i] = runOneJob(specs[i], baselines, cache);
+            });
+        }
+        pool.waitIdle();
+    }
+
+    for (const JobResult &r : results) {
+        switch (r.status) {
+        case JobStatus::kOk:
+            ++stats_.executed;
+            break;
+        case JobStatus::kCached:
+            ++stats_.cached;
+            break;
+        case JobStatus::kFailed:
+            ++stats_.failed;
+            break;
+        }
+    }
+    stats_.baselinesComputed = baselines.computeCount();
+    return results;
+}
+
+std::vector<JobResult>
+runExperimentBatch(const std::vector<JobSpec> &specs,
+                   const DriverOptions &options, BatchStats *stats)
+{
+    ExperimentDriver driver(options);
+    std::vector<JobResult> results = driver.runBatch(specs);
+    if (stats)
+        *stats = driver.stats();
+    return results;
+}
+
+} // namespace sst

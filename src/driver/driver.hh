@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The parallel experiment driver: executes a declarative batch of
+ * speedup-experiment jobs on a work-stealing thread pool, shares
+ * single-threaded baseline runs between jobs that only differ in thread
+ * count, memoizes completed jobs in a content-addressed on-disk cache,
+ * and isolates failures so one bad spec never poisons a batch.
+ *
+ * Determinism contract: a job's result is a pure function of its
+ * JobSpec. The simulator keeps all state per-System instance and every
+ * RNG stream is seeded from the spec alone, so a batch produces
+ * bit-identical results whether it runs with 1 worker or N, in any
+ * interleaving, and results are returned in submission order.
+ */
+
+#ifndef SST_DRIVER_DRIVER_HH
+#define SST_DRIVER_DRIVER_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/job.hh"
+
+namespace sst {
+
+/** Batch execution configuration. */
+struct DriverOptions
+{
+    /** Worker threads; <= 0 selects std::thread::hardware_concurrency. */
+    int jobs = 1;
+
+    /** Result cache directory; empty disables on-disk memoization. */
+    std::string cacheDir;
+
+    /** Re-execute and overwrite even on a cache hit. */
+    bool refresh = false;
+
+    /**
+     * Share 1-thread baseline runs across jobs with an equal baseline
+     * fingerprint (the experiment math reuses Ts across thread counts).
+     */
+    bool shareBaselines = true;
+};
+
+/** Aggregate counters of one runBatch() call. */
+struct BatchStats
+{
+    std::size_t total = 0;    ///< jobs in the batch
+    std::size_t executed = 0; ///< freshly simulated
+    std::size_t cached = 0;   ///< replayed from the result cache
+    std::size_t failed = 0;   ///< rejected spec or execution error
+    std::size_t baselinesComputed = 0; ///< distinct 1-thread runs
+};
+
+/** Executes job batches; reusable across batches (stats reset per run). */
+class ExperimentDriver
+{
+  public:
+    explicit ExperimentDriver(DriverOptions opts = DriverOptions());
+    ~ExperimentDriver();
+
+    /**
+     * Execute @p specs and return one JobResult per spec, in input
+     * order. Never throws for per-job failures: a job that fails spec
+     * validation or raises during execution yields a kFailed result with
+     * the error message, and every other job still completes.
+     */
+    std::vector<JobResult> runBatch(const std::vector<JobSpec> &specs);
+
+    /** Counters of the most recent runBatch() call. */
+    const BatchStats &stats() const { return stats_; }
+
+    const DriverOptions &options() const { return opts_; }
+
+    /** Resolved worker count (after hardware_concurrency defaulting). */
+    int workerCount() const;
+
+  private:
+    JobResult runOneJob(const JobSpec &spec, class BaselineStore &baselines,
+                        class ResultCache *cache);
+
+    DriverOptions opts_;
+    BatchStats stats_;
+    std::unique_ptr<class ResultCache> cache_;
+};
+
+/**
+ * Convenience wrapper: run @p specs with @p options in one call.
+ * @param[out] stats batch counters when non-null
+ */
+std::vector<JobResult> runExperimentBatch(const std::vector<JobSpec> &specs,
+                                          const DriverOptions &options,
+                                          BatchStats *stats = nullptr);
+
+} // namespace sst
+
+#endif // SST_DRIVER_DRIVER_HH

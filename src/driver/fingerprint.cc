@@ -1,0 +1,193 @@
+#include "fingerprint.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace sst {
+namespace {
+
+void
+put(std::string &out, const char *key, std::uint64_t v)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s=%" PRIu64 "\n", key, v);
+    out += buf;
+}
+
+void
+put(std::string &out, const char *key, int v)
+{
+    put(out, key, static_cast<std::uint64_t>(v));
+}
+
+void
+put(std::string &out, const char *key, bool v)
+{
+    put(out, key, static_cast<std::uint64_t>(v ? 1 : 0));
+}
+
+void
+put(std::string &out, const char *key, double v)
+{
+    // %.17g round-trips every IEEE-754 double exactly.
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s=%.17g\n", key, v);
+    out += buf;
+}
+
+void
+put(std::string &out, const char *key, const std::string &v)
+{
+    out += key;
+    out += '=';
+    out += v;
+    out += '\n';
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const std::string &data)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+deriveJobSeed(std::uint64_t base_seed, std::uint64_t offset)
+{
+    if (offset == 0)
+        return base_seed; // identity: reproduce the serial benches
+    // SplitMix64 finalizer over the (seed, offset) pair.
+    std::uint64_t z = base_seed + offset * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::string
+Fingerprint::hex() const
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, hash);
+    return std::string(buf);
+}
+
+void
+encodeProfile(std::string &out, const BenchmarkProfile &p)
+{
+    put(out, "profile.name", p.name);
+    put(out, "profile.suite", p.suite);
+    put(out, "profile.input", p.input);
+    put(out, "profile.totalIters", p.totalIters);
+    put(out, "profile.computePerIter", p.computePerIter);
+    put(out, "profile.memPerIter", p.memPerIter);
+    put(out, "profile.storeFrac", p.storeFrac);
+    put(out, "profile.sharedStoreFrac", p.sharedStoreFrac);
+    put(out, "profile.privateBytes", p.privateBytes);
+    put(out, "profile.privateHotBytes", p.privateHotBytes);
+    put(out, "profile.privateHotFrac", p.privateHotFrac);
+    put(out, "profile.streamFrac", p.streamFrac);
+    put(out, "profile.sharedBytes", p.sharedBytes);
+    put(out, "profile.sharedFrac", p.sharedFrac);
+    put(out, "profile.sharedHotFrac", p.sharedHotFrac);
+    put(out, "profile.sharedHotBytes", p.sharedHotBytes);
+    put(out, "profile.sharedWindowPhases", p.sharedWindowPhases);
+    put(out, "profile.numLocks", p.numLocks);
+    put(out, "profile.lockFreq", p.lockFreq);
+    put(out, "profile.csCompute", p.csCompute);
+    put(out, "profile.csMem", p.csMem);
+    put(out, "profile.barrierPhases", p.barrierPhases);
+    put(out, "profile.imbalanceSkew", p.imbalanceSkew);
+    put(out, "profile.parallelismCap", p.parallelismCap);
+    put(out, "profile.capJitter", p.capJitter);
+    put(out, "profile.capScale", p.capScale);
+    put(out, "profile.finalBarrier", p.finalBarrier);
+    put(out, "profile.parOverheadFrac", p.parOverheadFrac);
+    put(out, "profile.seed", p.seed);
+}
+
+void
+encodeParams(std::string &out, const SimParams &params, int ncores_effective)
+{
+    put(out, "params.ncores", ncores_effective);
+    put(out, "params.dispatchWidth", params.dispatchWidth);
+    put(out, "params.llcHitCycles", params.llcHitCycles);
+    put(out, "params.c2cTransferCycles", params.c2cTransferCycles);
+    put(out, "params.robOverlapCycles", params.robOverlapCycles);
+    put(out, "params.coherencyMissCycles", params.coherencyMissCycles);
+    put(out, "params.spinCheckCycles", params.spinCheckCycles);
+    put(out, "params.spinLoopInstrs",
+        static_cast<std::uint64_t>(params.spinLoopInstrs));
+    put(out, "params.lockSpinThreshold", params.lockSpinThreshold);
+    put(out, "params.barrierSpinThreshold", params.barrierSpinThreshold);
+    put(out, "params.ctxSwitchCycles", params.ctxSwitchCycles);
+    put(out, "params.wakeLatencyCycles", params.wakeLatencyCycles);
+    put(out, "params.schedPerCoreOverhead", params.schedPerCoreOverhead);
+    put(out, "params.timeSliceCycles", params.timeSliceCycles);
+    put(out, "params.migrationFlushesL1", params.migrationFlushesL1);
+    put(out, "cache.l1Bytes", params.cache.l1Bytes);
+    put(out, "cache.l1Ways", params.cache.l1Ways);
+    put(out, "cache.llcBytes", params.cache.llcBytes);
+    put(out, "cache.llcWays", params.cache.llcWays);
+    put(out, "cache.atdSamplingFactor", params.cache.atdSamplingFactor);
+    put(out, "cache.oracleAtds", params.cache.oracleAtds);
+    put(out, "dram.nbanks", params.dram.nbanks);
+    put(out, "dram.busCycles", params.dram.busCycles);
+    put(out, "dram.dataCycles", params.dram.dataCycles);
+    put(out, "dram.rowHitCycles", params.dram.rowHitCycles);
+    put(out, "dram.rowEmptyCycles", params.dram.rowEmptyCycles);
+    put(out, "dram.rowConflictCycles", params.dram.rowConflictCycles);
+    put(out, "dram.rowBytes", params.dram.rowBytes);
+    put(out, "acct.tian.tableEntries", params.accounting.tian.tableEntries);
+    put(out, "acct.tian.markThreshold",
+        params.accounting.tian.markThreshold);
+    put(out, "acct.li.tableEntries", params.accounting.li.tableEntries);
+    put(out, "acct.stackDetector",
+        static_cast<int>(params.accounting.stackDetector));
+}
+
+namespace {
+
+Fingerprint
+finish(std::string text)
+{
+    Fingerprint fp;
+    fp.canonical = std::move(text);
+    fp.hash = fnv1a64(fp.canonical);
+    return fp;
+}
+
+} // namespace
+
+Fingerprint
+fingerprintJob(const JobSpec &spec)
+{
+    std::string out;
+    put(out, "fingerprint.version", kFingerprintVersion);
+    put(out, "job.kind", std::string("experiment"));
+    put(out, "job.nthreads", spec.nthreads);
+    put(out, "job.seedOffset", spec.seedOffset);
+    encodeProfile(out, spec.effectiveProfile());
+    // simulate() pins ncores to nthreads for both the baseline and the
+    // parallel run; canonicalize so equal-outcome jobs hash equally.
+    encodeParams(out, spec.params, spec.nthreads);
+    return finish(std::move(out));
+}
+
+Fingerprint
+fingerprintBaseline(const JobSpec &spec)
+{
+    std::string out;
+    put(out, "fingerprint.version", kFingerprintVersion);
+    put(out, "job.kind", std::string("baseline"));
+    encodeProfile(out, spec.effectiveProfile());
+    encodeParams(out, spec.params, 1);
+    return finish(std::move(out));
+}
+
+} // namespace sst

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Canonical content fingerprints for experiment jobs. Every field that
+ * can influence a simulation's outcome — the whole BenchmarkProfile, the
+ * whole SimParams, the thread count and the seed offset — is serialized
+ * into a stable `key=value` text form, which is then hashed (FNV-1a
+ * 64-bit) to key the on-disk result cache and the in-memory baseline
+ * store. The canonical text itself is persisted next to each cached
+ * result so a hash collision degrades to a cache miss, never to a wrong
+ * result.
+ *
+ * The encoding is versioned: bump kFingerprintVersion whenever the
+ * simulation's observable behaviour changes in a way the parameter set
+ * does not capture (e.g. a core-model bug fix), which invalidates every
+ * previously cached result at once.
+ */
+
+#ifndef SST_DRIVER_FINGERPRINT_HH
+#define SST_DRIVER_FINGERPRINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "driver/job.hh"
+
+namespace sst {
+
+/** Bump to invalidate all cached results after behavioural changes. */
+inline constexpr int kFingerprintVersion = 1;
+
+/** FNV-1a 64-bit hash of @p data. */
+std::uint64_t fnv1a64(const std::string &data);
+
+/** A job identity: the canonical text and its 64-bit digest. */
+struct Fingerprint
+{
+    std::string canonical; ///< full `key=value` serialization
+    std::uint64_t hash = 0;
+
+    /** Fixed-width lowercase hex of the digest (cache file stem). */
+    std::string hex() const;
+};
+
+/** Canonical serialization of every outcome-relevant profile field. */
+void encodeProfile(std::string &out, const BenchmarkProfile &profile);
+
+/**
+ * Canonical serialization of every outcome-relevant SimParams field.
+ * @p ncores_effective replaces params.ncores: simulate() pins the core
+ * count to the thread count, so the stored field is irrelevant and
+ * canonicalizing it maximizes cache and baseline sharing.
+ */
+void encodeParams(std::string &out, const SimParams &params,
+                  int ncores_effective);
+
+/** Fingerprint of a full job (profile x nthreads x params x seed). */
+Fingerprint fingerprintJob(const JobSpec &spec);
+
+/**
+ * Fingerprint of the job's single-threaded baseline run. Pins the
+ * thread/core count to 1 and drops nthreads, so every job that differs
+ * only in thread count shares one baseline.
+ */
+Fingerprint fingerprintBaseline(const JobSpec &spec);
+
+} // namespace sst
+
+#endif // SST_DRIVER_FINGERPRINT_HH

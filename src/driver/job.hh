@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Job descriptions and results for the parallel experiment driver. A
+ * JobSpec is a fully declarative description of one speedup experiment —
+ * benchmark profile, thread count, machine parameters and an optional
+ * seed offset — so that a job's outcome is a pure function of its spec:
+ * bit-identical whether it runs serially, on a worker pool, or is
+ * replayed from the on-disk result cache.
+ */
+
+#ifndef SST_DRIVER_JOB_HH
+#define SST_DRIVER_JOB_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/experiment.hh"
+#include "sim/params.hh"
+#include "workload/profile.hh"
+
+namespace sst {
+
+/**
+ * Mix a replication offset into a base workload seed. Derived streams
+ * are deterministic, platform-independent, and decorrelated for distinct
+ * offsets (SplitMix64 finalizer over the pair). Offset 0 is the identity
+ * so that default jobs reproduce the serial benches bit-exactly.
+ */
+std::uint64_t deriveJobSeed(std::uint64_t base_seed, std::uint64_t offset);
+
+/** One experiment to execute: profile x nthreads x SimParams overrides. */
+struct JobSpec
+{
+    BenchmarkProfile profile; ///< workload (copied so jobs are portable)
+    int nthreads = 16;        ///< threads == cores for the parallel run
+    SimParams params;         ///< machine configuration
+    /**
+     * Replication stream selector: 0 runs the profile's own seed (the
+     * paper's configuration); k > 0 derives an independent k-th RNG
+     * stream for the same workload shape.
+     */
+    std::uint64_t seedOffset = 0;
+
+    /** The profile with the job's RNG stream applied. */
+    BenchmarkProfile
+    effectiveProfile() const
+    {
+        BenchmarkProfile p = profile;
+        p.seed = deriveJobSeed(p.seed, seedOffset);
+        return p;
+    }
+};
+
+/** How a job concluded. */
+enum class JobStatus : std::uint8_t {
+    kOk,       ///< experiment completed (freshly executed)
+    kCached,   ///< experiment replayed from the result cache
+    kFailed,   ///< spec validation or execution raised an error
+};
+
+/**
+ * Outcome of one job. For kCached results the heavyweight RunResult
+ * members of the experiment (per-thread counters, cache/DRAM stats,
+ * region snapshots) are empty — the cache persists only the summary
+ * metrics every table/figure consumes (see ResultCache).
+ */
+struct JobResult
+{
+    JobStatus status = JobStatus::kFailed;
+    std::string error;      ///< failure description when kFailed
+    SpeedupExperiment exp;  ///< valid when status != kFailed
+
+    bool ok() const { return status != JobStatus::kFailed; }
+    bool fromCache() const { return status == JobStatus::kCached; }
+};
+
+} // namespace sst
+
+#endif // SST_DRIVER_JOB_HH

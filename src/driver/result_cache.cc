@@ -1,0 +1,261 @@
+#include "result_cache.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace sst {
+namespace {
+
+constexpr const char *kMagic = "sst-result-cache v1";
+
+void
+putU64(std::ostream &os, const char *key, std::uint64_t v)
+{
+    os << key << ' ' << v << '\n';
+}
+
+void
+putF64(std::ostream &os, const char *key, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << key << ' ' << buf << '\n';
+}
+
+/** Parse "key value" where value round-trips via strtoull/strtod. */
+class LineReader
+{
+  public:
+    explicit LineReader(std::istream &is) : is_(is) {}
+
+    bool
+    next(std::string &key, std::string &value)
+    {
+        std::string line;
+        if (!std::getline(is_, line))
+            return false;
+        const std::size_t sp = line.find(' ');
+        if (sp == std::string::npos) {
+            key = line;
+            value.clear();
+        } else {
+            key = line.substr(0, sp);
+            value = line.substr(sp + 1);
+        }
+        return true;
+    }
+
+  private:
+    std::istream &is_;
+};
+
+bool
+toU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return errno == 0 && end && *end == '\0';
+}
+
+bool
+toF64(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return errno == 0 && end && *end == '\0';
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        fatal("cannot create result cache directory '" + dir_ +
+              "': " + ec.message());
+}
+
+std::string
+ResultCache::entryPath(const Fingerprint &fp) const
+{
+    return dir_ + "/" + fp.hex() + ".result";
+}
+
+void
+ResultCache::store(const Fingerprint &fp, const SpeedupExperiment &exp)
+{
+    std::ostringstream os;
+    os << kMagic << '\n';
+    os << "hash " << fp.hex() << '\n';
+    os << "canonical-bytes " << fp.canonical.size() << '\n';
+    os << fp.canonical;
+    os << "label " << exp.label << '\n';
+    putU64(os, "nthreads", static_cast<std::uint64_t>(exp.nthreads));
+    putU64(os, "ts", exp.ts);
+    putU64(os, "tp", exp.tp);
+    putF64(os, "actualSpeedup", exp.actualSpeedup);
+    putF64(os, "estimatedSpeedup", exp.estimatedSpeedup);
+    putF64(os, "error", exp.error);
+    putF64(os, "parOverheadMeasured", exp.parOverheadMeasured);
+    putU64(os, "stack.nthreads",
+           static_cast<std::uint64_t>(exp.stack.nthreads));
+    putF64(os, "stack.posLlc", exp.stack.posLlc);
+    putF64(os, "stack.negLlc", exp.stack.negLlc);
+    putF64(os, "stack.negMem", exp.stack.negMem);
+    putF64(os, "stack.spin", exp.stack.spin);
+    putF64(os, "stack.yield", exp.stack.yield);
+    putF64(os, "stack.imbalance", exp.stack.imbalance);
+    putF64(os, "stack.coherency", exp.stack.coherency);
+    putF64(os, "stack.baseSpeedup", exp.stack.baseSpeedup);
+    putF64(os, "stack.estimatedSpeedup", exp.stack.estimatedSpeedup);
+    putU64(os, "single.totalInstructions", exp.single.totalInstructions);
+    putU64(os, "single.totalSpinInstructions",
+           exp.single.totalSpinInstructions);
+    putU64(os, "parallel.totalInstructions",
+           exp.parallel.totalInstructions);
+    putU64(os, "parallel.totalSpinInstructions",
+           exp.parallel.totalSpinInstructions);
+    os << "end\n";
+
+    // Atomic publish: temp file + rename. The mutex keeps two threads of
+    // this process from interleaving on the same temp name; the pid makes
+    // the temp name unique across processes sharing one cache directory,
+    // and rename() atomicity makes the publish itself safe either way.
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    const std::string tmp =
+        entryPath(fp) + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("result cache: cannot write " + tmp);
+            return;
+        }
+        out << os.str();
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, entryPath(fp), ec);
+    if (ec) {
+        warn("result cache: cannot publish " + entryPath(fp) + ": " +
+             ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+bool
+ResultCache::lookup(const Fingerprint &fp, SpeedupExperiment &out) const
+{
+    std::ifstream in(entryPath(fp), std::ios::binary);
+    if (!in)
+        return false;
+
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic)
+        return false;
+    if (!std::getline(in, line) || line != "hash " + fp.hex())
+        return false;
+    std::uint64_t nbytes = 0;
+    if (!std::getline(in, line) ||
+        line.rfind("canonical-bytes ", 0) != 0 ||
+        !toU64(line.substr(std::strlen("canonical-bytes ")), nbytes))
+        return false;
+    std::string canonical(nbytes, '\0');
+    if (!in.read(canonical.data(),
+                 static_cast<std::streamsize>(nbytes)) ||
+        canonical != fp.canonical)
+        return false; // collision or stale encoding: treat as a miss
+
+    SpeedupExperiment exp;
+    bool sawEnd = false;
+    LineReader reader(in);
+    std::string key, value;
+    while (reader.next(key, value)) {
+        if (key == "end") {
+            sawEnd = true;
+            break;
+        }
+        std::uint64_t u = 0;
+        bool ok = true;
+        if (key == "label")
+            exp.label = value;
+        else if (key == "nthreads")
+            ok = toU64(value, u), exp.nthreads = static_cast<int>(u);
+        else if (key == "ts")
+            ok = toU64(value, exp.ts);
+        else if (key == "tp")
+            ok = toU64(value, exp.tp);
+        else if (key == "actualSpeedup")
+            ok = toF64(value, exp.actualSpeedup);
+        else if (key == "estimatedSpeedup")
+            ok = toF64(value, exp.estimatedSpeedup);
+        else if (key == "error")
+            ok = toF64(value, exp.error);
+        else if (key == "parOverheadMeasured")
+            ok = toF64(value, exp.parOverheadMeasured);
+        else if (key == "stack.nthreads")
+            ok = toU64(value, u), exp.stack.nthreads = static_cast<int>(u);
+        else if (key == "stack.posLlc")
+            ok = toF64(value, exp.stack.posLlc);
+        else if (key == "stack.negLlc")
+            ok = toF64(value, exp.stack.negLlc);
+        else if (key == "stack.negMem")
+            ok = toF64(value, exp.stack.negMem);
+        else if (key == "stack.spin")
+            ok = toF64(value, exp.stack.spin);
+        else if (key == "stack.yield")
+            ok = toF64(value, exp.stack.yield);
+        else if (key == "stack.imbalance")
+            ok = toF64(value, exp.stack.imbalance);
+        else if (key == "stack.coherency")
+            ok = toF64(value, exp.stack.coherency);
+        else if (key == "stack.baseSpeedup")
+            ok = toF64(value, exp.stack.baseSpeedup);
+        else if (key == "stack.estimatedSpeedup")
+            ok = toF64(value, exp.stack.estimatedSpeedup);
+        else if (key == "single.totalInstructions")
+            ok = toU64(value, exp.single.totalInstructions);
+        else if (key == "single.totalSpinInstructions")
+            ok = toU64(value, exp.single.totalSpinInstructions);
+        else if (key == "parallel.totalInstructions")
+            ok = toU64(value, exp.parallel.totalInstructions);
+        else if (key == "parallel.totalSpinInstructions")
+            ok = toU64(value, exp.parallel.totalSpinInstructions);
+        // Unknown keys are skipped: forward-compatible within a version.
+        if (!ok)
+            return false;
+    }
+    if (!sawEnd)
+        return false; // truncated write that predates atomic publish
+
+    exp.single.nthreads = 1;
+    exp.single.executionTime = exp.ts;
+    exp.parallel.nthreads = exp.nthreads;
+    exp.parallel.ncores = exp.nthreads;
+    exp.parallel.executionTime = exp.tp;
+    out = std::move(exp);
+    return true;
+}
+
+void
+ResultCache::erase(const Fingerprint &fp)
+{
+    std::error_code ec;
+    std::filesystem::remove(entryPath(fp), ec);
+}
+
+} // namespace sst

@@ -1,0 +1,283 @@
+#include "sweep.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.hh"
+#include "workload/profile.hh"
+
+namespace sst {
+namespace {
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (const char c : text) {
+        if (c == ',') {
+            parts.push_back(cur);
+            cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    return parts;
+}
+
+std::string
+f64(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+const char *
+statusName(JobStatus s)
+{
+    switch (s) {
+    case JobStatus::kOk:
+        return "ok";
+    case JobStatus::kCached:
+        return "cached";
+    case JobStatus::kFailed:
+        return "failed";
+    }
+    return "?";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<int>
+parseIntList(const std::string &text)
+{
+    std::vector<int> out;
+    for (const std::string &part : splitCommas(text)) {
+        if (part.empty())
+            throw std::invalid_argument("empty entry in list '" + text +
+                                        "'");
+        errno = 0;
+        char *end = nullptr;
+        const long v = std::strtol(part.c_str(), &end, 10);
+        if (errno != 0 || !end || *end != '\0' || v <= 0 || v > 1 << 20)
+            throw std::invalid_argument("bad integer '" + part + "'");
+        out.push_back(static_cast<int>(v));
+    }
+    return out;
+}
+
+std::vector<std::string>
+parseLabelList(const std::string &text)
+{
+    std::vector<std::string> out = splitCommas(text);
+    for (const std::string &label : out)
+        if (label.empty())
+            throw std::invalid_argument("empty entry in list '" + text +
+                                        "'");
+    return out;
+}
+
+std::uint64_t
+parseSize(const std::string &text)
+{
+    if (text.empty())
+        throw std::invalid_argument("empty size");
+    std::uint64_t mult = 1;
+    std::string digits = text;
+    const char suffix =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(
+            text.back())));
+    if (suffix == 'K' || suffix == 'M' || suffix == 'G') {
+        mult = suffix == 'K' ? 1024ULL
+                             : suffix == 'M' ? 1024ULL * 1024
+                                             : 1024ULL * 1024 * 1024;
+        digits = text.substr(0, text.size() - 1);
+    }
+    if (digits.empty())
+        throw std::invalid_argument("bad size '" + text + "'");
+    errno = 0;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(digits.c_str(), &end, 10);
+    if (errno != 0 || !end || *end != '\0' || v == 0)
+        throw std::invalid_argument("bad size '" + text + "'");
+    return v * mult;
+}
+
+std::vector<std::uint64_t>
+parseSizeList(const std::string &text)
+{
+    std::vector<std::uint64_t> out;
+    for (const std::string &part : splitCommas(text))
+        out.push_back(parseSize(part));
+    return out;
+}
+
+std::vector<JobSpec>
+expandGrid(const SweepGrid &grid)
+{
+    if (grid.profiles.empty())
+        throw std::invalid_argument("sweep grid has no profiles");
+    if (grid.threads.empty())
+        throw std::invalid_argument("sweep grid has no thread counts");
+
+    // Resolve labels up front so a typo fails the whole expansion
+    // loudly instead of producing a batch of failed jobs. Same
+    // semantics as profileByLabel(): label or bare name.
+    std::vector<const BenchmarkProfile *> profiles;
+    for (const std::string &label : grid.profiles) {
+        const BenchmarkProfile *found = findProfileByLabel(label);
+        if (!found)
+            throw std::invalid_argument("unknown benchmark profile '" +
+                                        label + "'");
+        profiles.push_back(found);
+    }
+
+    std::vector<JobSpec> jobs;
+    const std::size_t nllc =
+        grid.llcBytes.empty() ? 1 : grid.llcBytes.size();
+    jobs.reserve(profiles.size() * grid.threads.size() * nllc);
+    for (const BenchmarkProfile *profile : profiles) {
+        for (const int nthreads : grid.threads) {
+            for (std::size_t l = 0; l < nllc; ++l) {
+                JobSpec spec;
+                spec.profile = *profile;
+                spec.nthreads = nthreads;
+                spec.params = grid.baseParams;
+                if (!grid.llcBytes.empty())
+                    spec.params.cache.llcBytes = grid.llcBytes[l];
+                spec.seedOffset = grid.seedOffset;
+                jobs.push_back(std::move(spec));
+            }
+        }
+    }
+    return jobs;
+}
+
+std::string
+sweepCsvHeader()
+{
+    return "benchmark,suite,nthreads,llc_bytes,seed_offset,status,ts,tp,"
+           "actual_speedup,estimated_speedup,error,base,pos_llc,neg_llc,"
+           "net_neg_llc,neg_mem,spin,yield,imbalance,coherency,"
+           "par_overhead";
+}
+
+std::string
+sweepCsv(const std::vector<JobSpec> &specs,
+         const std::vector<JobResult> &results)
+{
+    sstAssert(specs.size() == results.size(),
+              "sweepCsv: specs/results size mismatch");
+    std::ostringstream os;
+    os << sweepCsvHeader() << '\n';
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const JobSpec &s = specs[i];
+        const JobResult &r = results[i];
+        os << s.profile.label() << ',' << s.profile.suite << ','
+           << s.nthreads << ',' << s.params.cache.llcBytes << ','
+           << s.seedOffset << ',' << statusName(r.status);
+        if (r.ok()) {
+            const SpeedupExperiment &e = r.exp;
+            os << ',' << e.ts << ',' << e.tp << ','
+               << f64(e.actualSpeedup) << ',' << f64(e.estimatedSpeedup)
+               << ',' << f64(e.error) << ',' << f64(e.stack.baseSpeedup)
+               << ',' << f64(e.stack.posLlc) << ',' << f64(e.stack.negLlc)
+               << ',' << f64(e.stack.netNegLlc()) << ','
+               << f64(e.stack.negMem) << ',' << f64(e.stack.spin) << ','
+               << f64(e.stack.yield) << ',' << f64(e.stack.imbalance)
+               << ',' << f64(e.stack.coherency) << ','
+               << f64(e.parOverheadMeasured);
+        } else {
+            for (int k = 0; k < 15; ++k)
+                os << ',';
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+sweepJson(const std::vector<JobSpec> &specs,
+          const std::vector<JobResult> &results)
+{
+    sstAssert(specs.size() == results.size(),
+              "sweepJson: specs/results size mismatch");
+    std::ostringstream os;
+    os << "[\n";
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const JobSpec &s = specs[i];
+        const JobResult &r = results[i];
+        os << "  {\"benchmark\": \"" << jsonEscape(s.profile.label())
+           << "\", \"suite\": \"" << jsonEscape(s.profile.suite)
+           << "\", \"nthreads\": " << s.nthreads
+           << ", \"llc_bytes\": " << s.params.cache.llcBytes
+           << ", \"seed_offset\": " << s.seedOffset << ", \"status\": \""
+           << statusName(r.status) << '"';
+        if (r.ok()) {
+            const SpeedupExperiment &e = r.exp;
+            os << ", \"ts\": " << e.ts << ", \"tp\": " << e.tp
+               << ", \"actual_speedup\": " << f64(e.actualSpeedup)
+               << ", \"estimated_speedup\": " << f64(e.estimatedSpeedup)
+               << ", \"error\": " << f64(e.error)
+               << ", \"stack\": {\"base\": " << f64(e.stack.baseSpeedup)
+               << ", \"pos_llc\": " << f64(e.stack.posLlc)
+               << ", \"neg_llc\": " << f64(e.stack.negLlc)
+               << ", \"neg_mem\": " << f64(e.stack.negMem)
+               << ", \"spin\": " << f64(e.stack.spin)
+               << ", \"yield\": " << f64(e.stack.yield)
+               << ", \"imbalance\": " << f64(e.stack.imbalance)
+               << ", \"coherency\": " << f64(e.stack.coherency) << '}'
+               << ", \"par_overhead\": " << f64(e.parOverheadMeasured);
+        } else {
+            os << ", \"error_message\": \"" << jsonEscape(r.error) << '"';
+        }
+        os << '}' << (i + 1 < specs.size() ? "," : "") << '\n';
+    }
+    os << "]\n";
+    return os.str();
+}
+
+} // namespace sst

@@ -1,0 +1,115 @@
+#include "thread_pool.hh"
+
+namespace sst {
+
+WorkStealingPool::WorkStealingPool(int nworkers)
+{
+    const std::size_t n =
+        static_cast<std::size_t>(nworkers < 1 ? 1 : nworkers);
+    queues_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    waitIdle();
+    {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        shutdown_ = true;
+    }
+    workAvailable_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+WorkStealingPool::submit(std::function<void()> task)
+{
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        target = nextQueue_;
+        nextQueue_ = (nextQueue_ + 1) % queues_.size();
+        ++pending_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    {
+        // Epoch bump strictly after the push: a worker whose scan missed
+        // this task will see the changed epoch and rescan (see
+        // submitEpoch_ in the header).
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        ++submitEpoch_;
+    }
+    workAvailable_.notify_one();
+}
+
+bool
+WorkStealingPool::popLocal(std::size_t self, std::function<void()> &task)
+{
+    WorkerQueue &q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty())
+        return false;
+    task = std::move(q.tasks.back()); // LIFO: newest, cache-warm
+    q.tasks.pop_back();
+    return true;
+}
+
+bool
+WorkStealingPool::stealRemote(std::size_t self, std::function<void()> &task)
+{
+    const std::size_t n = queues_.size();
+    for (std::size_t k = 1; k < n; ++k) {
+        WorkerQueue &victim = *queues_[(self + k) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (victim.tasks.empty())
+            continue;
+        task = std::move(victim.tasks.front()); // FIFO: oldest task
+        victim.tasks.pop_front();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+void
+WorkStealingPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        std::uint64_t epoch;
+        {
+            std::lock_guard<std::mutex> lock(stateMutex_);
+            epoch = submitEpoch_;
+        }
+        std::function<void()> task;
+        if (popLocal(self, task) || stealRemote(self, task)) {
+            task();
+            std::lock_guard<std::mutex> lock(stateMutex_);
+            if (--pending_ == 0)
+                allDone_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(stateMutex_);
+        workAvailable_.wait(lock, [this, epoch] {
+            return shutdown_ || submitEpoch_ != epoch;
+        });
+        if (shutdown_)
+            return;
+    }
+}
+
+void
+WorkStealingPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(stateMutex_);
+    allDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+} // namespace sst

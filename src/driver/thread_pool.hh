@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A small work-stealing thread pool for experiment jobs. Each worker
+ * owns a deque: it pops work LIFO from its own bottom (cache-warm) and,
+ * when empty, steals FIFO from the top of a sibling's deque (oldest task
+ * first, classic Blumofe–Leiserson order). External submissions are
+ * distributed round-robin across the deques so a large batch starts out
+ * balanced and stealing only has to correct drift from uneven job
+ * lengths.
+ *
+ * Tasks must not rely on execution order — the experiment driver
+ * guarantees determinism by making every job a pure function of its
+ * spec, not by ordering execution.
+ */
+
+#ifndef SST_DRIVER_THREAD_POOL_HH
+#define SST_DRIVER_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sst {
+
+/** Work-stealing pool of std::threads. */
+class WorkStealingPool
+{
+  public:
+    /** Start @p nworkers threads (clamped to >= 1). */
+    explicit WorkStealingPool(int nworkers);
+
+    /** Drains remaining work, then joins all workers. */
+    ~WorkStealingPool();
+
+    WorkStealingPool(const WorkStealingPool &) = delete;
+    WorkStealingPool &operator=(const WorkStealingPool &) = delete;
+
+    /** Enqueue one task. Tasks must not throw (wrap and capture). */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void waitIdle();
+
+    int nworkers() const { return static_cast<int>(workers_.size()); }
+
+    /** Completed steals (diagnostic; > 0 shows stealing is live). */
+    std::uint64_t stealCount() const { return steals_.load(); }
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(std::size_t self);
+    bool popLocal(std::size_t self, std::function<void()> &task);
+    bool stealRemote(std::size_t self, std::function<void()> &task);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex stateMutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::size_t pending_ = 0; ///< submitted but not yet finished
+    /**
+     * Bumped (under stateMutex_, after the queue push) by every
+     * submit. A worker snapshots it before scanning the queues and
+     * sleeps only while it is unchanged — a submission that raced the
+     * scan flips the predicate, so no wakeup can be lost.
+     */
+    std::uint64_t submitEpoch_ = 0;
+    bool shutdown_ = false;
+    std::size_t nextQueue_ = 0;
+    std::atomic<std::uint64_t> steals_{0};
+};
+
+} // namespace sst
+
+#endif // SST_DRIVER_THREAD_POOL_HH

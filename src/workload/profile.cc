@@ -443,13 +443,21 @@ benchmarkSuite()
     return suite;
 }
 
-const BenchmarkProfile &
-profileByLabel(const std::string &label)
+const BenchmarkProfile *
+findProfileByLabel(const std::string &label)
 {
     for (const auto &p : benchmarkSuite()) {
         if (p.label() == label || p.name == label)
-            return p;
+            return &p;
     }
+    return nullptr;
+}
+
+const BenchmarkProfile &
+profileByLabel(const std::string &label)
+{
+    if (const BenchmarkProfile *p = findProfileByLabel(label))
+        return *p;
     fatal("unknown benchmark profile: " + label);
 }
 

@@ -125,6 +125,13 @@ struct BenchmarkProfile
 const std::vector<BenchmarkProfile> &benchmarkSuite();
 
 /**
+ * Look up a profile by label ("cholesky", "facesim_medium", ...) or
+ * bare name ("facesim" matches its first input variant). Returns
+ * nullptr when unknown.
+ */
+const BenchmarkProfile *findProfileByLabel(const std::string &label);
+
+/**
  * Look up a profile by label ("cholesky", "facesim_medium", ...).
  * Fatal error if not found.
  */

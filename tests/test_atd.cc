@@ -106,8 +106,9 @@ TEST_P(AtdEquivalence, SampledMatchesFullShadowOnSampledSets)
         const Addr line = rng.below(1 << 16);
         const Atd::Probe ps = sampled.access(line);
         const Atd::Probe pf = full.access(line);
-        if (ps.sampled)
+        if (ps.sampled) {
             EXPECT_EQ(ps.hit, pf.hit) << "line " << line;
+        }
     }
 }
 

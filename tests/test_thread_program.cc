@@ -148,14 +148,17 @@ TEST(ThreadProgram, ParallelismCapLimitsActiveThreads)
         // With fewer threads than the cap, everyone is active.
         EXPECT_EQ(ThreadProgram::activeThreads(p, 2, phase), 2);
     }
-    // Exactly `active` threads get work in each phase.
-    for (int phase = 0; phase < 8; ++phase) {
-        int with_work = 0;
-        for (int t = 0; t < 16; ++t) {
-            ThreadProgram prog(p, t, 16);
-            (void)prog;
-        }
+    // Exactly `active` threads get work: with a single phase there is
+    // no rotation, so precisely `parallelismCap` of the 16 threads plan
+    // any iterations at all.
+    BenchmarkProfile single = p;
+    single.barrierPhases = 1;
+    int with_work = 0;
+    for (int t = 0; t < 16; ++t) {
+        ThreadProgram prog(single, t, 16);
+        with_work += prog.plannedIters() > 0;
     }
+    EXPECT_EQ(with_work, 4);
 }
 
 TEST(ThreadProgram, InstructionsGrowWithParallelOverhead)
