@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_atd_sampling.dir/bench/abl_atd_sampling.cc.o"
+  "CMakeFiles/abl_atd_sampling.dir/bench/abl_atd_sampling.cc.o.d"
+  "abl_atd_sampling"
+  "abl_atd_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_atd_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_coherency.dir/bench/abl_coherency.cc.o"
+  "CMakeFiles/abl_coherency.dir/bench/abl_coherency.cc.o.d"
+  "abl_coherency"
+  "abl_coherency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coherency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

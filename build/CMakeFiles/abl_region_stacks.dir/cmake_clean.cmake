@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_region_stacks.dir/bench/abl_region_stacks.cc.o"
+  "CMakeFiles/abl_region_stacks.dir/bench/abl_region_stacks.cc.o.d"
+  "abl_region_stacks"
+  "abl_region_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_region_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

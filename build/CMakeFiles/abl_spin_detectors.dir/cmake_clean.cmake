@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_spin_detectors.dir/bench/abl_spin_detectors.cc.o"
+  "CMakeFiles/abl_spin_detectors.dir/bench/abl_spin_detectors.cc.o.d"
+  "abl_spin_detectors"
+  "abl_spin_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_spin_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_classify_suite.dir/examples/classify_suite.cpp.o"
+  "CMakeFiles/example_classify_suite.dir/examples/classify_suite.cpp.o.d"
+  "example_classify_suite"
+  "example_classify_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_classify_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_llc_study.dir/examples/llc_study.cpp.o"
+  "CMakeFiles/example_llc_study.dir/examples/llc_study.cpp.o.d"
+  "example_llc_study"
+  "example_llc_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_llc_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

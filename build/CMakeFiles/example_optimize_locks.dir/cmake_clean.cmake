@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_optimize_locks.dir/examples/optimize_locks.cpp.o"
+  "CMakeFiles/example_optimize_locks.dir/examples/optimize_locks.cpp.o.d"
+  "example_optimize_locks"
+  "example_optimize_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_optimize_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

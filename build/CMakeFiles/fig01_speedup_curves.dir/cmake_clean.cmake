@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_speedup_curves.dir/bench/fig01_speedup_curves.cc.o"
+  "CMakeFiles/fig01_speedup_curves.dir/bench/fig01_speedup_curves.cc.o.d"
+  "fig01_speedup_curves"
+  "fig01_speedup_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_speedup_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_speedup_stacks.dir/bench/fig05_speedup_stacks.cc.o"
+  "CMakeFiles/fig05_speedup_stacks.dir/bench/fig05_speedup_stacks.cc.o.d"
+  "fig05_speedup_stacks"
+  "fig05_speedup_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_speedup_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_classification.dir/bench/fig06_classification.cc.o"
+  "CMakeFiles/fig06_classification.dir/bench/fig06_classification.cc.o.d"
+  "fig06_classification"
+  "fig06_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ferret_cores.dir/bench/fig07_ferret_cores.cc.o"
+  "CMakeFiles/fig07_ferret_cores.dir/bench/fig07_ferret_cores.cc.o.d"
+  "fig07_ferret_cores"
+  "fig07_ferret_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ferret_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_llc_interference.dir/bench/fig08_llc_interference.cc.o"
+  "CMakeFiles/fig08_llc_interference.dir/bench/fig08_llc_interference.cc.o.d"
+  "fig08_llc_interference"
+  "fig08_llc_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_llc_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accounting/accounting_unit.cc" "CMakeFiles/sst.dir/src/accounting/accounting_unit.cc.o" "gcc" "CMakeFiles/sst.dir/src/accounting/accounting_unit.cc.o.d"
+  "/root/repo/src/accounting/hw_cost.cc" "CMakeFiles/sst.dir/src/accounting/hw_cost.cc.o" "gcc" "CMakeFiles/sst.dir/src/accounting/hw_cost.cc.o.d"
+  "/root/repo/src/accounting/report.cc" "CMakeFiles/sst.dir/src/accounting/report.cc.o" "gcc" "CMakeFiles/sst.dir/src/accounting/report.cc.o.d"
+  "/root/repo/src/cache/atd.cc" "CMakeFiles/sst.dir/src/cache/atd.cc.o" "gcc" "CMakeFiles/sst.dir/src/cache/atd.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "CMakeFiles/sst.dir/src/cache/hierarchy.cc.o" "gcc" "CMakeFiles/sst.dir/src/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cache/set_assoc.cc" "CMakeFiles/sst.dir/src/cache/set_assoc.cc.o" "gcc" "CMakeFiles/sst.dir/src/cache/set_assoc.cc.o.d"
+  "/root/repo/src/core/classify.cc" "CMakeFiles/sst.dir/src/core/classify.cc.o" "gcc" "CMakeFiles/sst.dir/src/core/classify.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "CMakeFiles/sst.dir/src/core/experiment.cc.o" "gcc" "CMakeFiles/sst.dir/src/core/experiment.cc.o.d"
+  "/root/repo/src/core/region_stacks.cc" "CMakeFiles/sst.dir/src/core/region_stacks.cc.o" "gcc" "CMakeFiles/sst.dir/src/core/region_stacks.cc.o.d"
+  "/root/repo/src/core/render.cc" "CMakeFiles/sst.dir/src/core/render.cc.o" "gcc" "CMakeFiles/sst.dir/src/core/render.cc.o.d"
+  "/root/repo/src/core/speedup_stack.cc" "CMakeFiles/sst.dir/src/core/speedup_stack.cc.o" "gcc" "CMakeFiles/sst.dir/src/core/speedup_stack.cc.o.d"
+  "/root/repo/src/driver/driver.cc" "CMakeFiles/sst.dir/src/driver/driver.cc.o" "gcc" "CMakeFiles/sst.dir/src/driver/driver.cc.o.d"
+  "/root/repo/src/driver/fingerprint.cc" "CMakeFiles/sst.dir/src/driver/fingerprint.cc.o" "gcc" "CMakeFiles/sst.dir/src/driver/fingerprint.cc.o.d"
+  "/root/repo/src/driver/result_cache.cc" "CMakeFiles/sst.dir/src/driver/result_cache.cc.o" "gcc" "CMakeFiles/sst.dir/src/driver/result_cache.cc.o.d"
+  "/root/repo/src/driver/sweep.cc" "CMakeFiles/sst.dir/src/driver/sweep.cc.o" "gcc" "CMakeFiles/sst.dir/src/driver/sweep.cc.o.d"
+  "/root/repo/src/driver/thread_pool.cc" "CMakeFiles/sst.dir/src/driver/thread_pool.cc.o" "gcc" "CMakeFiles/sst.dir/src/driver/thread_pool.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "CMakeFiles/sst.dir/src/mem/dram.cc.o" "gcc" "CMakeFiles/sst.dir/src/mem/dram.cc.o.d"
+  "/root/repo/src/sim/system.cc" "CMakeFiles/sst.dir/src/sim/system.cc.o" "gcc" "CMakeFiles/sst.dir/src/sim/system.cc.o.d"
+  "/root/repo/src/sync/spin_detect.cc" "CMakeFiles/sst.dir/src/sync/spin_detect.cc.o" "gcc" "CMakeFiles/sst.dir/src/sync/spin_detect.cc.o.d"
+  "/root/repo/src/sync/sync_state.cc" "CMakeFiles/sst.dir/src/sync/sync_state.cc.o" "gcc" "CMakeFiles/sst.dir/src/sync/sync_state.cc.o.d"
+  "/root/repo/src/util/format.cc" "CMakeFiles/sst.dir/src/util/format.cc.o" "gcc" "CMakeFiles/sst.dir/src/util/format.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "CMakeFiles/sst.dir/src/workload/profile.cc.o" "gcc" "CMakeFiles/sst.dir/src/workload/profile.cc.o.d"
+  "/root/repo/src/workload/thread_program.cc" "CMakeFiles/sst.dir/src/workload/thread_program.cc.o" "gcc" "CMakeFiles/sst.dir/src/workload/thread_program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for sst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_sweep.dir/bench/suite_sweep.cc.o"
+  "CMakeFiles/suite_sweep.dir/bench/suite_sweep.cc.o.d"
+  "suite_sweep"
+  "suite_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_hw_cost.dir/bench/tab_hw_cost.cc.o"
+  "CMakeFiles/tab_hw_cost.dir/bench/tab_hw_cost.cc.o.d"
+  "tab_hw_cost"
+  "tab_hw_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_hw_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_hw_cost.
+# This may be replaced when dependencies are built.

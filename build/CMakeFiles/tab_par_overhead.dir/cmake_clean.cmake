@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_par_overhead.dir/bench/tab_par_overhead.cc.o"
+  "CMakeFiles/tab_par_overhead.dir/bench/tab_par_overhead.cc.o.d"
+  "tab_par_overhead"
+  "tab_par_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_par_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

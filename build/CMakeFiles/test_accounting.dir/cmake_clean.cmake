@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accounting.dir/tests/test_accounting.cc.o"
+  "CMakeFiles/test_accounting.dir/tests/test_accounting.cc.o.d"
+  "test_accounting"
+  "test_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

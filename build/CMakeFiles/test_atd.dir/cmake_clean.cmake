@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atd.dir/tests/test_atd.cc.o"
+  "CMakeFiles/test_atd.dir/tests/test_atd.cc.o.d"
+  "test_atd"
+  "test_atd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

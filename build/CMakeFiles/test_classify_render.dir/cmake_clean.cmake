@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classify_render.dir/tests/test_classify_render.cc.o"
+  "CMakeFiles/test_classify_render.dir/tests/test_classify_render.cc.o.d"
+  "test_classify_render"
+  "test_classify_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classify_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_cost.dir/tests/test_hw_cost.cc.o"
+  "CMakeFiles/test_hw_cost.dir/tests/test_hw_cost.cc.o.d"
+  "test_hw_cost"
+  "test_hw_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

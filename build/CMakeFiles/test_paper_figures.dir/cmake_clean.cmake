@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_figures.dir/tests/test_paper_figures.cc.o"
+  "CMakeFiles/test_paper_figures.dir/tests/test_paper_figures.cc.o.d"
+  "test_paper_figures"
+  "test_paper_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

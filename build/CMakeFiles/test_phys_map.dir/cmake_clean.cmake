@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_map.dir/tests/test_phys_map.cc.o"
+  "CMakeFiles/test_phys_map.dir/tests/test_phys_map.cc.o.d"
+  "test_phys_map"
+  "test_phys_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

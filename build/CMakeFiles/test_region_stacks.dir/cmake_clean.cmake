@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_region_stacks.dir/tests/test_region_stacks.cc.o"
+  "CMakeFiles/test_region_stacks.dir/tests/test_region_stacks.cc.o.d"
+  "test_region_stacks"
+  "test_region_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_region_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_assoc.dir/tests/test_set_assoc.cc.o"
+  "CMakeFiles/test_set_assoc.dir/tests/test_set_assoc.cc.o.d"
+  "test_set_assoc"
+  "test_set_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speedup_stack.dir/tests/test_speedup_stack.cc.o"
+  "CMakeFiles/test_speedup_stack.dir/tests/test_speedup_stack.cc.o.d"
+  "test_speedup_stack"
+  "test_speedup_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speedup_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

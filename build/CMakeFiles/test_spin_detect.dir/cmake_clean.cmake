@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spin_detect.dir/tests/test_spin_detect.cc.o"
+  "CMakeFiles/test_spin_detect.dir/tests/test_spin_detect.cc.o.d"
+  "test_spin_detect"
+  "test_spin_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spin_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

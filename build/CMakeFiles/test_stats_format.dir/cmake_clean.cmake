@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_format.dir/tests/test_stats_format.cc.o"
+  "CMakeFiles/test_stats_format.dir/tests/test_stats_format.cc.o.d"
+  "test_stats_format"
+  "test_stats_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_state.dir/tests/test_sync_state.cc.o"
+  "CMakeFiles/test_sync_state.dir/tests/test_sync_state.cc.o.d"
+  "test_sync_state"
+  "test_sync_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_program.dir/tests/test_thread_program.cc.o"
+  "CMakeFiles/test_thread_program.dir/tests/test_thread_program.cc.o.d"
+  "test_thread_program"
+  "test_thread_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
