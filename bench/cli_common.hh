@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small helpers shared by the bench/ command-line tools (`sweep`,
+ * `trace`, ...). Header-only; CMake builds one executable per bench
+ * .cc, so shared code lives here rather than in the sst library.
+ */
+
+#ifndef SST_BENCH_CLI_COMMON_HH
+#define SST_BENCH_CLI_COMMON_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace sst {
+namespace cli {
+
+/** Value of flag argv[i], advancing i; fatal when the value is missing. */
+inline const char *
+argValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        fatal(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+}
+
+/** Strict base-10 u64; fatal on garbage instead of silently reading 0. */
+inline std::uint64_t
+parseU64(const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno != 0 || !end || end == text || *end != '\0')
+        fatal(std::string("bad value for ") + flag + ": '" + text + "'");
+    return v;
+}
+
+/** Strict base-10 int in [min, max]; fatal on garbage or out of range. */
+inline int
+parseInt(const char *flag, const char *text, long min, long max)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (errno != 0 || !end || end == text || *end != '\0' || v < min ||
+        v > max) {
+        fatal(std::string("bad value for ") + flag + ": '" + text +
+              "' (expected " + std::to_string(min) + ".." +
+              std::to_string(max) + ")");
+    }
+    return static_cast<int>(v);
+}
+
+} // namespace cli
+} // namespace sst
+
+#endif // SST_BENCH_CLI_COMMON_HH

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.hh"
 #include "core/classify.hh"
 #include "driver/sweep.hh"
 #include "util/format.hh"
@@ -28,6 +29,8 @@
 #include "workload/profile.hh"
 
 namespace {
+
+using sst::cli::argValue;
 
 void
 usage()
@@ -44,17 +47,11 @@ usage()
         "  --cache-dir DIR         result cache (default: .sst-cache)\n"
         "  --no-cache              disable the result cache\n"
         "  --refresh               re-run and overwrite cached results\n"
+        "  --trace-dir DIR         replay recorded op traces from DIR\n"
+        "                          (see `trace record --trace-dir`)\n"
         "  --csv FILE              write results as CSV\n"
         "  --json FILE             write results as JSON\n"
         "  --quiet                 suppress the result table\n");
-}
-
-const char *
-argValue(int argc, char **argv, int &i)
-{
-    if (i + 1 >= argc)
-        sst::fatal(std::string("missing value for ") + argv[i]);
-    return argv[++i];
 }
 
 void
@@ -94,16 +91,19 @@ main(int argc, char **argv)
                 grid.llcBytes =
                     sst::parseSizeList(argValue(argc, argv, i));
             } else if (arg == "--jobs") {
-                opts.jobs = std::atoi(argValue(argc, argv, i));
+                opts.jobs = sst::cli::parseInt(
+                    "--jobs", argValue(argc, argv, i), 0, 1 << 20);
             } else if (arg == "--seed-offset") {
-                grid.seedOffset = std::strtoull(
-                    argValue(argc, argv, i), nullptr, 10);
+                grid.seedOffset = sst::cli::parseU64(
+                    "--seed-offset", argValue(argc, argv, i));
             } else if (arg == "--cache-dir") {
                 opts.cacheDir = argValue(argc, argv, i);
             } else if (arg == "--no-cache") {
                 opts.cacheDir.clear();
             } else if (arg == "--refresh") {
                 opts.refresh = true;
+            } else if (arg == "--trace-dir") {
+                opts.traceDir = argValue(argc, argv, i);
             } else if (arg == "--csv") {
                 csvPath = argValue(argc, argv, i);
             } else if (arg == "--json") {
@@ -188,9 +188,10 @@ main(int argc, char **argv)
 
         std::printf(
             "batch: %zu jobs, %zu executed, %zu cached, %zu failed, "
-            "%zu baselines, %d workers\n",
+            "%zu baselines, %zu trace replays, %d workers\n",
             stats.total, stats.executed, stats.cached, stats.failed,
-            stats.baselinesComputed, driver.workerCount());
+            stats.baselinesComputed, stats.traceReplays,
+            driver.workerCount());
 
         if (!csvPath.empty())
             writeFile(csvPath, sst::sweepCsv(jobs, results));

@@ -20,9 +20,9 @@ runSingleThreaded(const SimParams &params, const BenchmarkProfile &profile)
 }
 
 SpeedupExperiment
-runWithBaseline(const SimParams &params, const BenchmarkProfile &profile,
-                int nthreads, const RunResult &baseline,
-                const ReportOptions *opts)
+assembleExperiment(const std::string &label, int nthreads,
+                   const SimParams &params, const RunResult &baseline,
+                   RunResult parallel, const ReportOptions *opts)
 {
     sstAssert(baseline.nthreads == 1,
               "baseline run must be single-threaded");
@@ -30,10 +30,10 @@ runWithBaseline(const SimParams &params, const BenchmarkProfile &profile,
         opts ? *opts : defaultReportOptions(params);
 
     SpeedupExperiment exp;
-    exp.label = profile.label();
+    exp.label = label;
     exp.nthreads = nthreads;
     exp.single = baseline;
-    exp.parallel = simulate(params, profile, nthreads);
+    exp.parallel = std::move(parallel);
 
     exp.ts = exp.single.executionTime;
     exp.tp = exp.parallel.executionTime;
@@ -58,6 +58,18 @@ runWithBaseline(const SimParams &params, const BenchmarkProfile &profile,
 }
 
 SpeedupExperiment
+runWithBaseline(const SimParams &params, const BenchmarkProfile &profile,
+                int nthreads, const RunResult &baseline,
+                const ReportOptions *opts)
+{
+    // Check before the expensive parallel simulation, not after.
+    sstAssert(baseline.nthreads == 1,
+              "baseline run must be single-threaded");
+    return assembleExperiment(profile.label(), nthreads, params, baseline,
+                              simulate(params, profile, nthreads), opts);
+}
+
+SpeedupExperiment
 runSpeedupExperiment(const SimParams &params,
                      const BenchmarkProfile &profile, int nthreads,
                      const ReportOptions *opts)
@@ -69,6 +81,14 @@ runSpeedupExperiment(const SimParams &params,
 const RunResult &
 BaselineStore::get(const std::string &key, const SimParams &params,
                    const BenchmarkProfile &profile)
+{
+    return get(key,
+               [&] { return runSingleThreaded(params, profile); });
+}
+
+const RunResult &
+BaselineStore::get(const std::string &key,
+                   const std::function<RunResult()> &compute)
 {
     std::promise<std::shared_ptr<const RunResult>> promise;
     std::shared_future<std::shared_ptr<const RunResult>> future;
@@ -89,8 +109,8 @@ BaselineStore::get(const std::string &key, const SimParams &params,
         // Compute outside the lock so other keys proceed concurrently. A
         // failure propagates to every waiter of the same key.
         try {
-            promise.set_value(std::make_shared<const RunResult>(
-                runSingleThreaded(params, profile)));
+            promise.set_value(
+                std::make_shared<const RunResult>(compute()));
         } catch (...) {
             promise.set_exception(std::current_exception());
         }

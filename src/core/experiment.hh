@@ -10,6 +10,7 @@
 #ifndef SST_CORE_EXPERIMENT_HH
 #define SST_CORE_EXPERIMENT_HH
 
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -56,6 +57,19 @@ RunResult runSingleThreaded(const SimParams &params,
                             const BenchmarkProfile &profile);
 
 /**
+ * Assemble a SpeedupExperiment from two already-completed runs: the
+ * 1-thread reference and the parallel run. This is the pure math tail
+ * of every experiment (Eqs. 1, 3, 6 + the stack build) and is shared by
+ * the live path (runWithBaseline) and the trace-replay path, where the
+ * runs come from recorded op streams instead of ThreadProgram.
+ */
+SpeedupExperiment assembleExperiment(const std::string &label,
+                                     int nthreads, const SimParams &params,
+                                     const RunResult &baseline,
+                                     RunResult parallel,
+                                     const ReportOptions *opts = nullptr);
+
+/**
  * Run the @p nthreads-thread configuration and assemble the experiment
  * against an existing baseline run (reuse the baseline when sweeping
  * thread counts).
@@ -89,7 +103,17 @@ class BaselineStore
   public:
     /**
      * Return the 1-thread run for @p key, computing it (at most once
-     * per key, even under concurrency) via runSingleThreaded().
+     * per key, even under concurrency) via @p compute. The caller
+     * chooses how the baseline is produced — live generation or trace
+     * replay — which must not matter for the result (both are
+     * deterministic functions of the key's identity).
+     */
+    const RunResult &get(const std::string &key,
+                         const std::function<RunResult()> &compute);
+
+    /**
+     * Convenience: compute the baseline via runSingleThreaded() on the
+     * synthetic-generator frontend.
      */
     const RunResult &get(const std::string &key, const SimParams &params,
                          const BenchmarkProfile &profile);

@@ -1,15 +1,49 @@
 #include "driver.hh"
 
+#include <filesystem>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
 #include "core/experiment.hh"
 #include "driver/fingerprint.hh"
 #include "driver/result_cache.hh"
 #include "driver/thread_pool.hh"
+#include "trace/trace_run.hh"
 
 namespace sst {
 namespace {
+
+/**
+ * Per-batch cache of parsed trace containers. Jobs that differ only in
+ * machine parameters share one trace file; parsing (whole-file read +
+ * full validation decode of every stream) should happen once per path,
+ * not once per job. Parsing runs outside the lock; a racing duplicate
+ * parse is harmless — the first insert wins.
+ */
+class TraceReaderCache
+{
+  public:
+    std::shared_ptr<const TraceReader>
+    get(const std::string &path)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = readers_.find(path);
+            if (it != readers_.end())
+                return it->second;
+        }
+        auto reader = std::make_shared<const TraceReader>(path);
+        std::lock_guard<std::mutex> lock(mutex_);
+        return readers_.emplace(path, std::move(reader)).first->second;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<const TraceReader>>
+        readers_;
+};
 
 /**
  * Reject specs the simulator would abort on. The driver turns these
@@ -33,6 +67,85 @@ validateSpec(const JobSpec &spec)
                                     "': cache sizes must be non-zero");
 }
 
+/** Execute one job (validation, cache, trace replay or live runs). */
+JobResult
+runOneJob(const DriverOptions &opts, const JobSpec &spec,
+          BaselineStore &baselines, ResultCache *cache,
+          TraceReaderCache &traces)
+{
+    JobResult res;
+    try {
+        validateSpec(spec);
+        const Fingerprint fp = fingerprintJob(spec);
+        if (cache && !opts.refresh) {
+            SpeedupExperiment hit;
+            if (cache->lookup(fp, hit)) {
+                res.status = JobStatus::kCached;
+                res.exp = std::move(hit);
+                return res;
+            }
+        }
+
+        const BenchmarkProfile profile = spec.effectiveProfile();
+
+        // Trace replay: when the job's canonical recording exists, both
+        // runs re-simulate from the recorded op streams and no
+        // ThreadProgram is ever constructed. A missing file falls back
+        // to live generation; an incompatible file (stale profile,
+        // wrong thread count, corruption) throws and fails the job —
+        // silently regenerating would hide a stale trace directory.
+        std::shared_ptr<const TraceReader> reader;
+        if (!opts.traceDir.empty()) {
+            const std::string path = tracePathFor(
+                opts.traceDir, profile, spec.nthreads, spec.seedOffset);
+            if (std::filesystem::exists(path)) {
+                reader = traces.get(path);
+                reader->requireCompatible(traceProfileHash(profile),
+                                          spec.nthreads);
+            }
+        }
+
+        SpeedupExperiment exp;
+        if (opts.shareBaselines) {
+            // Keyed by the full canonical text (not the hash) so two
+            // distinct baselines can never silently share a slot. The
+            // key is frontend-agnostic: a replayed baseline is
+            // bit-identical to a generated one, so traced and live jobs
+            // may share slots freely.
+            const RunResult &baseline = baselines.get(
+                fingerprintBaseline(spec).canonical,
+                [&]() -> RunResult {
+                    if (reader)
+                        return replayBaseline(spec.params, *reader);
+                    return runSingleThreaded(spec.params, profile);
+                });
+            exp = reader
+                      ? assembleExperiment(profile.label(), spec.nthreads,
+                                           spec.params, baseline,
+                                           replayParallel(spec.params,
+                                                          *reader))
+                      : runWithBaseline(spec.params, profile,
+                                        spec.nthreads, baseline);
+        } else if (reader) {
+            exp = assembleExperiment(profile.label(), spec.nthreads,
+                                     spec.params,
+                                     replayBaseline(spec.params, *reader),
+                                     replayParallel(spec.params, *reader));
+        } else {
+            exp = runSpeedupExperiment(spec.params, profile, spec.nthreads);
+        }
+        res.tracedReplay = reader != nullptr;
+        if (cache)
+            cache->store(fp, exp);
+        res.status = JobStatus::kOk;
+        res.exp = std::move(exp);
+    } catch (const std::exception &e) {
+        res.status = JobStatus::kFailed;
+        res.error = e.what();
+    }
+    return res;
+}
+
 } // namespace
 
 ExperimentDriver::ExperimentDriver(DriverOptions opts)
@@ -53,46 +166,6 @@ ExperimentDriver::workerCount() const
     return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-JobResult
-ExperimentDriver::runOneJob(const JobSpec &spec, BaselineStore &baselines,
-                            ResultCache *cache)
-{
-    JobResult res;
-    try {
-        validateSpec(spec);
-        const Fingerprint fp = fingerprintJob(spec);
-        if (cache && !opts_.refresh) {
-            SpeedupExperiment hit;
-            if (cache->lookup(fp, hit)) {
-                res.status = JobStatus::kCached;
-                res.exp = std::move(hit);
-                return res;
-            }
-        }
-
-        const BenchmarkProfile profile = spec.effectiveProfile();
-        SpeedupExperiment exp;
-        if (opts_.shareBaselines) {
-            // Keyed by the full canonical text (not the hash) so two
-            // distinct baselines can never silently share a slot.
-            const RunResult &baseline = baselines.get(
-                fingerprintBaseline(spec).canonical, spec.params, profile);
-            exp = runWithBaseline(spec.params, profile, spec.nthreads,
-                                  baseline);
-        } else {
-            exp = runSpeedupExperiment(spec.params, profile, spec.nthreads);
-        }
-        if (cache)
-            cache->store(fp, exp);
-        res.status = JobStatus::kOk;
-        res.exp = std::move(exp);
-    } catch (const std::exception &e) {
-        res.status = JobStatus::kFailed;
-        res.error = e.what();
-    }
-    return res;
-}
-
 std::vector<JobResult>
 ExperimentDriver::runBatch(const std::vector<JobSpec> &specs)
 {
@@ -101,23 +174,29 @@ ExperimentDriver::runBatch(const std::vector<JobSpec> &specs)
 
     std::vector<JobResult> results(specs.size());
     BaselineStore baselines;
+    TraceReaderCache traces;
     ResultCache *cache = cache_.get();
 
     const int nworkers = workerCount();
     if (nworkers <= 1 || specs.size() <= 1) {
         for (std::size_t i = 0; i < specs.size(); ++i)
-            results[i] = runOneJob(specs[i], baselines, cache);
+            results[i] =
+                runOneJob(opts_, specs[i], baselines, cache, traces);
     } else {
         WorkStealingPool pool(nworkers);
         for (std::size_t i = 0; i < specs.size(); ++i) {
-            pool.submit([this, i, &specs, &results, &baselines, cache] {
-                results[i] = runOneJob(specs[i], baselines, cache);
-            });
+            pool.submit(
+                [this, i, &specs, &results, &baselines, cache, &traces] {
+                    results[i] = runOneJob(opts_, specs[i], baselines,
+                                           cache, traces);
+                });
         }
         pool.waitIdle();
     }
 
     for (const JobResult &r : results) {
+        if (r.tracedReplay)
+            ++stats_.traceReplays;
         switch (r.status) {
         case JobStatus::kOk:
             ++stats_.executed;

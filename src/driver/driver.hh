@@ -38,6 +38,16 @@ struct DriverOptions
     bool refresh = false;
 
     /**
+     * Directory of recorded op traces (see src/trace/). When a job's
+     * canonical trace file (tracePathFor) exists there, its runs replay
+     * from the recording — op-stream generation is skipped entirely.
+     * Jobs without a recording fall back to live generation; a present
+     * but stale/incompatible trace fails the job loudly rather than
+     * silently regenerating.
+     */
+    std::string traceDir;
+
+    /**
      * Share 1-thread baseline runs across jobs with an equal baseline
      * fingerprint (the experiment math reuses Ts across thread counts).
      */
@@ -52,6 +62,7 @@ struct BatchStats
     std::size_t cached = 0;   ///< replayed from the result cache
     std::size_t failed = 0;   ///< rejected spec or execution error
     std::size_t baselinesComputed = 0; ///< distinct 1-thread runs
+    std::size_t traceReplays = 0; ///< executed jobs driven from a trace
 };
 
 /** Executes job batches; reusable across batches (stats reset per run). */
@@ -78,9 +89,6 @@ class ExperimentDriver
     int workerCount() const;
 
   private:
-    JobResult runOneJob(const JobSpec &spec, class BaselineStore &baselines,
-                        class ResultCache *cache);
-
     DriverOptions opts_;
     BatchStats stats_;
     std::unique_ptr<class ResultCache> cache_;

@@ -70,6 +70,9 @@ struct JobResult
     std::string error;      ///< failure description when kFailed
     SpeedupExperiment exp;  ///< valid when status != kFailed
 
+    /** Runs were replayed from a recorded op trace (no generation). */
+    bool tracedReplay = false;
+
     bool ok() const { return status != JobStatus::kFailed; }
     bool fromCache() const { return status == JobStatus::kCached; }
 };

@@ -169,9 +169,11 @@ expandGrid(const SweepGrid &grid)
     std::vector<const BenchmarkProfile *> profiles;
     for (const std::string &label : grid.profiles) {
         const BenchmarkProfile *found = findProfileByLabel(label);
-        if (!found)
-            throw std::invalid_argument("unknown benchmark profile '" +
-                                        label + "'");
+        if (!found) {
+            throw std::invalid_argument(
+                "unknown benchmark profile '" + label +
+                "'; valid labels: " + allProfileLabelsJoined());
+        }
         profiles.push_back(found);
     }
 

@@ -4,6 +4,7 @@
 
 #include "sim/phys_map.hh"
 #include "util/logging.hh"
+#include "workload/thread_program.hh"
 
 namespace sst {
 
@@ -24,25 +25,38 @@ hashState(std::uint64_t a, std::uint64_t b)
 
 } // namespace
 
-System::System(const SimParams &params, const BenchmarkProfile &profile,
+System::System(const SimParams &params, const OpSourceFactory &sources,
                int nthreads)
-    : params_(params), profile_(profile), nthreads_(nthreads),
+    : params_(params), nthreads_(nthreads),
       hierarchy_(params.ncores, params.cache),
       dram_(params.ncores, params.dram),
       acct_(nthreads, params.accounting)
 {
     sstAssert(nthreads >= 1, "System needs at least one thread");
     sstAssert(params.ncores >= 1, "System needs at least one core");
+    sstAssert(static_cast<bool>(sources), "System needs an op-source factory");
 
     threads_.resize(static_cast<std::size_t>(nthreads));
     for (int t = 0; t < nthreads; ++t) {
         Thread &th = threads_[static_cast<std::size_t>(t)];
         th.tid = t;
-        th.program = std::make_unique<ThreadProgram>(profile, t, nthreads);
+        th.program = sources(t, nthreads);
+        sstAssert(th.program != nullptr,
+                  "op-source factory returned a null stream");
     }
     cores_.resize(static_cast<std::size_t>(params.ncores));
     for (int c = 0; c < params.ncores; ++c)
         cores_[static_cast<std::size_t>(c)].id = c;
+}
+
+System::System(const SimParams &params, const BenchmarkProfile &profile,
+               int nthreads)
+    : System(params,
+             [&profile](ThreadId tid, int n) -> std::unique_ptr<OpSource> {
+                 return std::make_unique<ThreadProgram>(profile, tid, n);
+             },
+             nthreads)
+{
 }
 
 RunResult
@@ -559,9 +573,21 @@ RunResult
 simulate(const SimParams &base, const BenchmarkProfile &profile,
          int nthreads, int ncores_override)
 {
+    return simulateSources(
+        base,
+        [&profile](ThreadId tid, int n) -> std::unique_ptr<OpSource> {
+            return std::make_unique<ThreadProgram>(profile, tid, n);
+        },
+        nthreads, ncores_override);
+}
+
+RunResult
+simulateSources(const SimParams &base, const OpSourceFactory &sources,
+                int nthreads, int ncores_override)
+{
     SimParams p = base;
     p.ncores = ncores_override > 0 ? ncores_override : nthreads;
-    System sys(p, profile, nthreads);
+    System sys(p, sources, nthreads);
     return sys.run();
 }
 

@@ -37,20 +37,36 @@
 #include "sim/run_result.hh"
 #include "sync/sync_state.hh"
 #include "util/types.hh"
+#include "workload/op_source.hh"
 #include "workload/profile.hh"
-#include "workload/thread_program.hh"
 
 namespace sst {
 
-/** One simulated execution of a workload on a CMP. */
+/**
+ * One simulated execution of a workload on a CMP. The workload is any
+ * set of per-thread OpSource streams: the synthetic ThreadProgram
+ * generator, a recorded-trace replay, or any future frontend — the
+ * simulator itself never depends on how the streams are produced.
+ */
 class System
 {
   public:
     /**
+     * Generic form: one op source per software thread, built by
+     * @p sources. This is the primary constructor; every workload
+     * frontend plugs in here.
+     *
      * @param params machine + OS + accounting configuration
-     * @param profile workload to run
+     * @param sources factory producing each thread's op stream
      * @param nthreads software threads to spawn (may exceed
      *        params.ncores; the scheduler then time-shares cores)
+     */
+    System(const SimParams &params, const OpSourceFactory &sources,
+           int nthreads);
+
+    /**
+     * Convenience form: generate the streams with ThreadProgram from
+     * @p profile (the synthetic-benchmark frontend).
      */
     System(const SimParams &params, const BenchmarkProfile &profile,
            int nthreads);
@@ -86,7 +102,7 @@ class System
     {
         ThreadId tid = 0;
         ThreadState state = ThreadState::kReady;
-        std::unique_ptr<ThreadProgram> program;
+        std::unique_ptr<OpSource> program;
         Op pending;
         bool hasPending = false;
         int pendingSlots = 0;     ///< sub-cycle dispatch slot accumulator
@@ -145,7 +161,6 @@ class System
     Cycles spinBranchHash(const Thread &th, std::uint64_t value) const;
 
     SimParams params_;
-    const BenchmarkProfile &profile_;
     int nthreads_;
 
     CacheHierarchy hierarchy_;
@@ -174,6 +189,16 @@ class System
  */
 RunResult simulate(const SimParams &base, const BenchmarkProfile &profile,
                    int nthreads, int ncores_override = 0);
+
+/**
+ * Like simulate(), but over arbitrary op sources: run @p nthreads
+ * streams built by @p sources on @p nthreads cores (or
+ * @p ncores_override cores when oversubscribing). This is the entry
+ * point trace replay and other non-ThreadProgram frontends use.
+ */
+RunResult simulateSources(const SimParams &base,
+                          const OpSourceFactory &sources, int nthreads,
+                          int ncores_override = 0);
 
 } // namespace sst
 

@@ -1,0 +1,122 @@
+#include "trace_run.hh"
+
+#include <fstream>
+
+#include "driver/fingerprint.hh"
+#include "sim/system.hh"
+#include "workload/thread_program.hh"
+
+namespace sst {
+
+std::uint64_t
+traceProfileHash(const BenchmarkProfile &profile)
+{
+    std::string canonical;
+    encodeProfile(canonical, profile);
+    return fnv1a64(canonical);
+}
+
+std::string
+tracePathFor(const std::string &dir, const BenchmarkProfile &profile,
+             int nthreads, std::uint64_t seed_offset)
+{
+    std::string path = dir;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    path += profile.label();
+    path += "_t";
+    path += std::to_string(nthreads);
+    if (seed_offset != 0) {
+        path += "_s";
+        path += std::to_string(seed_offset);
+    }
+    path += trace::kFileSuffix;
+    return path;
+}
+
+SpeedupExperiment
+recordSpeedupTrace(const SimParams &params,
+                   const BenchmarkProfile &profile, int nthreads,
+                   const std::string &path, std::uint64_t *ops_recorded)
+{
+    if (nthreads < 1 || nthreads > static_cast<int>(trace::kMaxThreads)) {
+        throw TraceError("cannot record a trace with " +
+                         std::to_string(nthreads) +
+                         " threads (format limit " +
+                         std::to_string(trace::kMaxThreads) + ")");
+    }
+    // Probe the output path up front: an unwritable destination should
+    // fail in milliseconds, not after both simulations have run. Probe
+    // the temp name writeFile() publishes through, so a never-completed
+    // recording leaves no file at the final path.
+    {
+        const std::string tmp = path + ".tmp";
+        std::ofstream probe(tmp, std::ios::binary | std::ios::app);
+        if (!probe)
+            throw TraceError("cannot open trace file for writing: " +
+                             tmp);
+    }
+    trace::TraceMeta meta;
+    meta.nthreads = nthreads;
+    meta.profileHash = traceProfileHash(profile);
+    meta.label = profile.label();
+    TraceWriter writer(std::move(meta));
+
+    // Both runs execute exactly as in runSpeedupExperiment(); the
+    // recording shim forwards every op unchanged, so the returned
+    // experiment is the live result, not an approximation of it.
+    const int baseline_stream = writer.baselineStream();
+    const RunResult baseline = simulateSources(
+        params,
+        [&](ThreadId tid, int n) -> std::unique_ptr<OpSource> {
+            return std::make_unique<RecordingSource>(
+                std::make_unique<ThreadProgram>(profile, tid, n), writer,
+                baseline_stream);
+        },
+        1);
+    RunResult parallel = simulateSources(
+        params,
+        [&](ThreadId tid, int n) -> std::unique_ptr<OpSource> {
+            return std::make_unique<RecordingSource>(
+                std::make_unique<ThreadProgram>(profile, tid, n), writer,
+                tid);
+        },
+        nthreads);
+
+    writer.writeFile(path);
+    if (ops_recorded) {
+        *ops_recorded = 0;
+        for (int s = 0; s <= nthreads; ++s)
+            *ops_recorded += writer.opCount(s);
+    }
+    return assembleExperiment(profile.label(), nthreads, params, baseline,
+                              std::move(parallel));
+}
+
+RunResult
+replayParallel(const SimParams &params, const TraceReader &reader)
+{
+    return simulateSources(
+        params,
+        [&reader](ThreadId tid, int) { return reader.parallelSource(tid); },
+        reader.meta().nthreads);
+}
+
+RunResult
+replayBaseline(const SimParams &params, const TraceReader &reader)
+{
+    return simulateSources(
+        params, [&reader](ThreadId, int) { return reader.baselineSource(); },
+        1);
+}
+
+SpeedupExperiment
+replaySpeedupTrace(const SimParams &params, const std::string &path)
+{
+    const TraceReader reader(path);
+    return assembleExperiment(reader.meta().label, reader.meta().nthreads,
+                              params, replayBaseline(params, reader),
+                              replayParallel(params, reader));
+}
+
+} // namespace sst

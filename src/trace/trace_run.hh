@@ -1,0 +1,77 @@
+/**
+ * @file
+ * High-level trace workflows tying the capture/replay primitives to the
+ * experiment machinery: record a profile's speedup experiment while
+ * writing the trace (live results come for free), replay a recorded
+ * trace into a bit-identical experiment without constructing a single
+ * ThreadProgram, and the canonical trace-directory naming the driver's
+ * `--trace-dir` mode uses to find recordings.
+ */
+
+#ifndef SST_TRACE_TRACE_RUN_HH
+#define SST_TRACE_TRACE_RUN_HH
+
+#include <string>
+
+#include "core/experiment.hh"
+#include "sim/params.hh"
+#include "trace/trace_reader.hh"
+#include "trace/trace_writer.hh"
+#include "workload/profile.hh"
+
+namespace sst {
+
+/**
+ * Content hash identifying the workload a trace captures: FNV-1a over
+ * the canonical profile serialization (the driver fingerprint encoding,
+ * so every op-stream-relevant knob participates).
+ */
+std::uint64_t traceProfileHash(const BenchmarkProfile &profile);
+
+/**
+ * Canonical path of @p profile's @p nthreads-thread trace in @p dir.
+ * A nonzero replication stream (@p seed_offset, see JobSpec) gets its
+ * own `_sK` suffix so per-seed recordings coexist and a sweep at a
+ * different offset falls back to live generation instead of tripping
+ * over the wrong recording.
+ */
+std::string tracePathFor(const std::string &dir,
+                         const BenchmarkProfile &profile, int nthreads,
+                         std::uint64_t seed_offset = 0);
+
+/**
+ * Run the full speedup experiment (1-thread baseline + @p nthreads-run)
+ * while recording both op streams, and write the trace container to
+ * @p path. Returns the live experiment — identical to what
+ * runSpeedupExperiment() produces, since the capture shim is
+ * transparent. Throws TraceError (not an assert) on an out-of-range
+ * thread count or an unwritable path.
+ *
+ * @param[out] ops_recorded total ops across all streams when non-null
+ */
+SpeedupExperiment recordSpeedupTrace(const SimParams &params,
+                                     const BenchmarkProfile &profile,
+                                     int nthreads,
+                                     const std::string &path,
+                                     std::uint64_t *ops_recorded = nullptr);
+
+/** Replay the parallel run of @p reader (cores pinned like simulate()). */
+RunResult replayParallel(const SimParams &params,
+                         const TraceReader &reader);
+
+/** Replay the sequential reference run of @p reader. */
+RunResult replayBaseline(const SimParams &params,
+                         const TraceReader &reader);
+
+/**
+ * Re-simulate both recorded runs of the trace at @p path and assemble
+ * the speedup experiment. Bit-identical to the experiment measured at
+ * record time when @p params matches; no workload generation happens on
+ * this path.
+ */
+SpeedupExperiment replaySpeedupTrace(const SimParams &params,
+                                     const std::string &path);
+
+} // namespace sst
+
+#endif // SST_TRACE_TRACE_RUN_HH

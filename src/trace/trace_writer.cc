@@ -1,0 +1,85 @@
+#include "trace_writer.hh"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace sst {
+
+TraceWriter::TraceWriter(trace::TraceMeta meta) : meta_(std::move(meta))
+{
+    sstAssert(meta_.nthreads >= 1 &&
+                  meta_.nthreads <=
+                      static_cast<int>(trace::kMaxThreads),
+              "TraceWriter: thread count out of range");
+    meta_.version = trace::kTraceVersion;
+    streams_.resize(static_cast<std::size_t>(meta_.nthreads) + 1);
+}
+
+void
+TraceWriter::append(int stream, const Op &op)
+{
+    sstAssert(stream >= 0 &&
+                  stream < static_cast<int>(streams_.size()),
+              "TraceWriter: stream index out of range");
+    trace::OpEncoder &enc = streams_[static_cast<std::size_t>(stream)];
+    sstAssert(!enc.sawEnd, "TraceWriter: append after stream end");
+    enc.encode(op);
+}
+
+std::uint64_t
+TraceWriter::opCount(int stream) const
+{
+    sstAssert(stream >= 0 &&
+                  stream < static_cast<int>(streams_.size()),
+              "TraceWriter: stream index out of range");
+    return streams_[static_cast<std::size_t>(stream)].opCount;
+}
+
+std::string
+TraceWriter::serialize() const
+{
+    std::string out;
+    out.append(trace::kMagic, sizeof(trace::kMagic));
+    trace::putU32(out, meta_.version);
+    trace::putU32(out, static_cast<std::uint32_t>(meta_.nthreads));
+    trace::putU64(out, meta_.profileHash);
+    trace::putVarint(out, meta_.label.size());
+    out += meta_.label;
+    for (const trace::OpEncoder &enc : streams_) {
+        trace::putVarint(out, enc.opCount);
+        trace::putVarint(out, enc.bytes.size());
+        out += enc.bytes;
+    }
+    return out;
+}
+
+void
+TraceWriter::writeFile(const std::string &path) const
+{
+    // Publish with temp-file + atomic rename (like the result cache): a
+    // crash mid-write leaves only a `.tmp` stub the replay paths never
+    // look at, and re-recording over a good trace cannot destroy it.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw TraceError("cannot open trace file for writing: " +
+                             tmp);
+        const std::string bytes = serialize();
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out)
+            throw TraceError("failed writing trace file: " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        throw TraceError("cannot publish trace file " + path + ": " +
+                         ec.message());
+    }
+}
+
+} // namespace sst

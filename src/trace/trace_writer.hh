@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Trace capture: TraceWriter accumulates the encoded per-thread streams
+ * of one run in memory and serializes the versioned container on
+ * finish; RecordingSource is the capture shim that wraps any OpSource
+ * and appends every op it hands to the simulator. Because the System
+ * pulls each op exactly once, wrapping every thread's source records a
+ * bit-exact copy of the executed workload.
+ */
+
+#ifndef SST_TRACE_TRACE_WRITER_HH
+#define SST_TRACE_TRACE_WRITER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace_format.hh"
+#include "workload/op_source.hh"
+
+namespace sst {
+
+/**
+ * Builds one trace file: meta.nthreads parallel streams (indices
+ * 0..nthreads-1) plus the sequential baseline stream (index nthreads).
+ */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(trace::TraceMeta meta);
+
+    const trace::TraceMeta &meta() const { return meta_; }
+
+    /** Stream index of the 1-thread sequential reference program. */
+    int baselineStream() const { return meta_.nthreads; }
+
+    /** Append one op to stream @p stream (in stream order). */
+    void append(int stream, const Op &op);
+
+    /** Ops recorded into stream @p stream so far. */
+    std::uint64_t opCount(int stream) const;
+
+    /** Serialize the complete container (header + all streams). */
+    std::string serialize() const;
+
+    /** Serialize and write to @p path. Throws TraceError on IO failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    trace::TraceMeta meta_;
+    std::vector<trace::OpEncoder> streams_;
+};
+
+/**
+ * Capture shim: forwards an inner op source unchanged while appending
+ * every delivered op to a TraceWriter stream. The writer must outlive
+ * the source.
+ */
+class RecordingSource : public OpSource
+{
+  public:
+    RecordingSource(std::unique_ptr<OpSource> inner, TraceWriter &writer,
+                    int stream)
+        : inner_(std::move(inner)), writer_(writer), stream_(stream)
+    {
+    }
+
+    Op
+    nextOp() override
+    {
+        const Op op = inner_->nextOp();
+        writer_.append(stream_, op);
+        return op;
+    }
+
+    bool finished() const override { return inner_->finished(); }
+
+  private:
+    std::unique_ptr<OpSource> inner_;
+    TraceWriter &writer_;
+    int stream_;
+};
+
+} // namespace sst
+
+#endif // SST_TRACE_TRACE_WRITER_HH

@@ -470,4 +470,16 @@ allProfileLabels()
     return out;
 }
 
+std::string
+allProfileLabelsJoined()
+{
+    std::string out;
+    for (const auto &p : benchmarkSuite()) {
+        if (!out.empty())
+            out += ", ";
+        out += p.label();
+    }
+    return out;
+}
+
 } // namespace sst

@@ -140,6 +140,9 @@ const BenchmarkProfile &profileByLabel(const std::string &label);
 /** All profile labels, in suite order. */
 std::vector<std::string> allProfileLabels();
 
+/** All labels joined with ", " — for error messages listing them. */
+std::string allProfileLabelsJoined();
+
 } // namespace sst
 
 #endif // SST_WORKLOAD_PROFILE_HH

@@ -24,22 +24,23 @@
 #include "util/rng.hh"
 #include "util/types.hh"
 #include "workload/op.hh"
+#include "workload/op_source.hh"
 #include "workload/profile.hh"
 
 namespace sst {
 
 /** Deterministic generator of one thread's op stream. */
-class ThreadProgram
+class ThreadProgram : public OpSource
 {
   public:
     ThreadProgram(const BenchmarkProfile &profile, ThreadId tid,
                   int nthreads);
 
     /** Next op of the stream; returns Op::end() forever once finished. */
-    Op nextOp();
+    Op nextOp() override;
 
     /** True once the stream has delivered its kEnd op. */
-    bool finished() const { return finished_; }
+    bool finished() const override { return finished_; }
 
     /**
      * Total instructions emitted so far (compute counts + one per memory

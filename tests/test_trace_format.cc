@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests of the binary trace container and op encoding: primitive coder
+ * round trips, delta encoding, header validation, and — critically —
+ * robustness: truncated files, corrupt magic, unsupported versions,
+ * thread-count and profile mismatches must all raise clean TraceErrors,
+ * never crash or feed garbage ops into the simulator.
+ */
+
+#include <cstdint>
+#include <gtest/gtest.h>
+
+#include "trace/trace_format.hh"
+#include "trace/trace_reader.hh"
+#include "trace/trace_run.hh"
+#include "trace/trace_writer.hh"
+#include "tests/test_util.hh"
+
+namespace sst {
+namespace {
+
+using trace::ByteCursor;
+using trace::OpDecoder;
+using trace::OpEncoder;
+using trace::TraceMeta;
+
+// ---- primitive coders ------------------------------------------------------
+
+TEST(TraceFormat, VarintRoundTrip)
+{
+    const std::uint64_t values[] = {0,   1,    127,  128,   16383, 16384,
+                                    1ULL << 32, ~std::uint64_t(0)};
+    std::string bytes;
+    for (const std::uint64_t v : values)
+        trace::putVarint(bytes, v);
+    ByteCursor cur(bytes.data(), bytes.size());
+    for (const std::uint64_t v : values)
+        EXPECT_EQ(cur.getVarint(), v);
+    EXPECT_EQ(cur.remaining(), 0u);
+}
+
+TEST(TraceFormat, SvarintRoundTrip)
+{
+    const std::int64_t values[] = {0, 1, -1, 63, -64, 64, -65,
+                                   INT64_MAX, INT64_MIN};
+    std::string bytes;
+    for (const std::int64_t v : values)
+        trace::putSvarint(bytes, v);
+    ByteCursor cur(bytes.data(), bytes.size());
+    for (const std::int64_t v : values)
+        EXPECT_EQ(cur.getSvarint(), v);
+}
+
+TEST(TraceFormat, VarintTruncationThrows)
+{
+    std::string bytes;
+    trace::putVarint(bytes, 1ULL << 40);
+    bytes.resize(bytes.size() - 1); // drop the terminating byte
+    ByteCursor cur(bytes.data(), bytes.size());
+    EXPECT_THROW(cur.getVarint(), TraceError);
+}
+
+TEST(TraceFormat, OverlongVarintThrows)
+{
+    const std::string bytes(11, '\x80'); // never terminates within 64 bits
+    ByteCursor cur(bytes.data(), bytes.size());
+    EXPECT_THROW(cur.getVarint(), TraceError);
+}
+
+TEST(TraceFormat, TenthByteOverflowBitsThrow)
+{
+    // Nine continuation bytes put the 10th byte at shift 63, where only
+    // bit 0 fits: value bits beyond it must throw, not silently vanish.
+    std::string overflow(9, '\x80');
+    overflow += '\x7e';
+    ByteCursor bad(overflow.data(), overflow.size());
+    EXPECT_THROW(bad.getVarint(), TraceError);
+
+    std::string max(9, '\x80');
+    max += '\x01'; // exactly bit 63: the largest legal encoding
+    ByteCursor ok(max.data(), max.size());
+    EXPECT_EQ(ok.getVarint(), 1ULL << 63);
+}
+
+// ---- op coding -------------------------------------------------------------
+
+std::vector<Op>
+sampleOps()
+{
+    return {Op::compute(17),
+            Op::load(addrmap::privateBase(0) + 64, 0x40000),
+            Op::store(addrmap::privateBase(0) + 128, 0x40004),
+            Op::load(addrmap::kSharedBase, 0x40008),
+            Op::lockAcquire(3),
+            Op::store(addrmap::lockDataBase(3) + 8, 0x40010),
+            Op::lockRelease(3),
+            Op::barrier(kWarmupBarrierId),
+            Op::roiBegin(),
+            Op::compute(1),
+            Op::end()};
+}
+
+TEST(TraceFormat, OpStreamRoundTripsAllTypes)
+{
+    const std::vector<Op> ops = sampleOps();
+    OpEncoder enc;
+    for (const Op &op : ops)
+        enc.encode(op);
+    EXPECT_TRUE(enc.sawEnd);
+    EXPECT_EQ(enc.opCount, ops.size());
+
+    OpDecoder dec(enc.bytes.data(), enc.bytes.size());
+    for (const Op &want : ops) {
+        const Op got = dec.decode();
+        EXPECT_EQ(got.type, want.type);
+        EXPECT_EQ(got.count, want.count);
+        EXPECT_EQ(got.addr, want.addr);
+        EXPECT_EQ(got.pc, want.pc);
+        EXPECT_EQ(got.id, want.id);
+    }
+    EXPECT_EQ(dec.cursor.remaining(), 0u);
+}
+
+TEST(TraceFormat, DeltaCodingIsCompact)
+{
+    // A streaming load pattern (line-after-line) must cost only a few
+    // bytes per op — far below the 24-byte in-memory Op.
+    OpEncoder enc;
+    for (int i = 0; i < 1000; ++i)
+        enc.encode(Op::load(addrmap::privateBase(0) +
+                                static_cast<Addr>(i) * kLineBytes,
+                            0x40000 + (i % 64) * 4));
+    enc.encode(Op::end());
+    EXPECT_LT(enc.bytes.size(), 1001u * 5);
+}
+
+TEST(TraceFormat, BadOpTagThrows)
+{
+    const std::string bytes(1, '\x2a'); // tag 42: not an OpType
+    OpDecoder dec(bytes.data(), bytes.size());
+    EXPECT_THROW(dec.decode(), TraceError);
+}
+
+// ---- container + header validation ----------------------------------------
+
+/** A tiny valid 2-thread trace image (2 parallel streams + baseline). */
+std::string
+tinyTraceBytes()
+{
+    TraceMeta meta;
+    meta.nthreads = 2;
+    meta.profileHash = 0xfeedULL;
+    meta.label = "t-tiny";
+    TraceWriter writer(std::move(meta));
+    for (int stream = 0; stream < 3; ++stream) {
+        writer.append(stream, Op::compute(8));
+        writer.append(stream,
+                      Op::load(addrmap::privateBase(0), 0x40000));
+        writer.append(stream, Op::end());
+    }
+    return writer.serialize();
+}
+
+TEST(TraceFormat, WriterReaderRoundTrip)
+{
+    const TraceReader reader = TraceReader::fromBytes(tinyTraceBytes());
+    EXPECT_EQ(reader.meta().version, trace::kTraceVersion);
+    EXPECT_EQ(reader.meta().nthreads, 2);
+    EXPECT_EQ(reader.meta().profileHash, 0xfeedULL);
+    EXPECT_EQ(reader.meta().label, "t-tiny");
+    ASSERT_EQ(reader.nstreams(), 3);
+    for (int s = 0; s < 3; ++s)
+        EXPECT_EQ(reader.opCount(s), 3u);
+
+    auto src = reader.parallelSource(1);
+    EXPECT_EQ(src->nextOp().type, OpType::kCompute);
+    EXPECT_EQ(src->nextOp().type, OpType::kLoad);
+    EXPECT_FALSE(src->finished());
+    EXPECT_EQ(src->nextOp().type, OpType::kEnd);
+    EXPECT_TRUE(src->finished());
+    EXPECT_EQ(src->nextOp().type, OpType::kEnd); // kEnd forever after
+}
+
+TEST(TraceFormat, BadMagicThrows)
+{
+    std::string bytes = tinyTraceBytes();
+    bytes[0] = 'X';
+    EXPECT_THROW(TraceReader::fromBytes(std::move(bytes)), TraceError);
+}
+
+TEST(TraceFormat, WrongVersionThrows)
+{
+    std::string bytes = tinyTraceBytes();
+    bytes[8] = static_cast<char>(trace::kTraceVersion + 1); // u32 LSB
+    try {
+        TraceReader::fromBytes(std::move(bytes));
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find("version"),
+                  std::string::npos);
+    }
+}
+
+TEST(TraceFormat, TruncationAnywhereThrowsCleanly)
+{
+    const std::string whole = tinyTraceBytes();
+    // Every proper prefix must fail with TraceError — header cuts,
+    // stream-table cuts and mid-stream cuts alike.
+    for (std::size_t len = 0; len < whole.size(); ++len) {
+        EXPECT_THROW(TraceReader::fromBytes(whole.substr(0, len)),
+                     TraceError)
+            << "prefix of " << len << " bytes parsed successfully";
+    }
+    // The full image must still parse (guards against an over-eager
+    // validator making the loop above pass vacuously).
+    EXPECT_NO_THROW(TraceReader::fromBytes(std::string(whole)));
+}
+
+TEST(TraceFormat, TrailingGarbageThrows)
+{
+    std::string bytes = tinyTraceBytes();
+    bytes += '\0';
+    EXPECT_THROW(TraceReader::fromBytes(std::move(bytes)), TraceError);
+}
+
+TEST(TraceFormat, MissingEndMarkerThrows)
+{
+    // Hand-build a container whose stream claims 1 op that is not kEnd.
+    std::string out;
+    out.append(trace::kMagic, sizeof(trace::kMagic));
+    trace::putU32(out, trace::kTraceVersion);
+    trace::putU32(out, 1); // nthreads
+    trace::putU64(out, 0);
+    trace::putVarint(out, 0); // empty label
+    for (int stream = 0; stream < 2; ++stream) {
+        OpEncoder enc;
+        enc.encode(Op::compute(1)); // no kEnd
+        trace::putVarint(out, enc.opCount);
+        trace::putVarint(out, enc.bytes.size());
+        out += enc.bytes;
+    }
+    EXPECT_THROW(TraceReader::fromBytes(std::move(out)), TraceError);
+}
+
+TEST(TraceFormat, CompatibilityChecks)
+{
+    const TraceReader reader = TraceReader::fromBytes(tinyTraceBytes());
+    EXPECT_NO_THROW(reader.requireCompatible(0xfeedULL, 2));
+
+    // Thread-count mismatch names both counts.
+    try {
+        reader.requireCompatible(0xfeedULL, 4);
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find("thread-count"),
+                  std::string::npos);
+    }
+    // Profile mismatch (stale trace).
+    EXPECT_THROW(reader.requireCompatible(0xbeefULL, 2), TraceError);
+    // Replay thread id outside the recorded range.
+    EXPECT_THROW(reader.parallelSource(2), TraceError);
+    EXPECT_THROW(reader.parallelSource(-1), TraceError);
+}
+
+TEST(TraceFormat, MissingFileThrows)
+{
+    EXPECT_THROW(TraceReader("/nonexistent/definitely-not-here.sstt"),
+                 TraceError);
+}
+
+TEST(TraceRun, ProfileHashTracksOpStreamKnobs)
+{
+    const BenchmarkProfile a = test::computeOnlyProfile();
+    BenchmarkProfile b = a;
+    EXPECT_EQ(traceProfileHash(a), traceProfileHash(b));
+    b.seed += 1;
+    EXPECT_NE(traceProfileHash(a), traceProfileHash(b));
+    BenchmarkProfile c = a;
+    c.totalIters += 1;
+    EXPECT_NE(traceProfileHash(a), traceProfileHash(c));
+}
+
+TEST(TraceRun, TracePathUsesLabelAndThreads)
+{
+    const BenchmarkProfile p = test::computeOnlyProfile();
+    EXPECT_EQ(tracePathFor("/tmp/traces", p, 4),
+              "/tmp/traces/t-compute_t4.sstt");
+    EXPECT_EQ(tracePathFor("/tmp/traces/", p, 16),
+              "/tmp/traces/t-compute_t16.sstt");
+    // Replication streams get their own recordings.
+    EXPECT_EQ(tracePathFor("/tmp/traces", p, 4, 3),
+              "/tmp/traces/t-compute_t4_s3.sstt");
+}
+
+} // namespace
+} // namespace sst
