@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Event-engine throughput microbench: how many simulation events per
+ * second does the host push through the unified event queue? Runs an
+ * oversubscribed (2 threads per core) cholesky workload at 4, 16 and 64
+ * cores — oversubscription keeps the scheduler, wake and preemption
+ * paths all hot — and reports the best of several repetitions (the
+ * standard microbenchmark guard against scheduler noise).
+ *
+ *   perf_engine [--repeat R] [--out BENCH_engine.json]
+ *
+ * Emits BENCH_engine.json for the perf trajectory; CI uploads it as an
+ * artifact on every Release build. The simulated results are
+ * deterministic (same exec cycles and event counts on every host), so
+ * runs are comparable across machines via events_per_sec alone.
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cli_common.hh"
+#include "sim/system.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+#include "workload/profile.hh"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr const char *kWorkload = "cholesky";
+constexpr int kOversubscription = 2;
+
+struct Measurement
+{
+    int ncores = 0;
+    int nthreads = 0;
+    std::uint64_t events = 0;
+    std::uint64_t simCycles = 0;
+    double bestSeconds = 0.0;
+
+    double
+    eventsPerSec() const
+    {
+        return static_cast<double>(events) / bestSeconds;
+    }
+};
+
+Measurement
+measure(int ncores, int repeat)
+{
+    Measurement m;
+    m.ncores = ncores;
+    m.nthreads = kOversubscription * ncores;
+    m.bestSeconds = 1e100;
+
+    const sst::BenchmarkProfile profile = sst::profileByLabel(kWorkload);
+    for (int r = 0; r < repeat; ++r) {
+        sst::SimParams params;
+        params.ncores = ncores;
+        // Construct outside the timed section: the bench measures the
+        // event loop, not arena allocation/teardown.
+        sst::System sys(params, profile, m.nthreads);
+        const auto t0 = Clock::now();
+        const sst::RunResult res = sys.run();
+        const auto t1 = Clock::now();
+        const double s = std::chrono::duration<double>(t1 - t0).count();
+        if (s < m.bestSeconds)
+            m.bestSeconds = s;
+        m.events = res.engineEvents;
+        m.simCycles = res.executionTime;
+    }
+    return m;
+}
+
+std::string
+toJson(const std::vector<Measurement> &ms, int repeat)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"bench\": \"engine_event_loop\",\n";
+    out += "  \"workload\": \"" + std::string(kWorkload) + "\",\n";
+    out += "  \"oversubscription\": " +
+           std::to_string(kOversubscription) + ",\n";
+    out += "  \"repeat\": " + std::to_string(repeat) + ",\n";
+    out += "  \"configs\": [\n";
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+        const Measurement &m = ms[i];
+        out += "    {\"ncores\": " + std::to_string(m.ncores) +
+               ", \"nthreads\": " + std::to_string(m.nthreads) +
+               ", \"events\": " + std::to_string(m.events) +
+               ", \"sim_cycles\": " + std::to_string(m.simCycles) +
+               ", \"best_seconds\": " + sst::fmtDouble(m.bestSeconds, 6) +
+               ", \"events_per_sec\": " +
+               sst::fmtDouble(m.eventsPerSec(), 1) + "}";
+        out += i + 1 < ms.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int repeat = 5;
+    std::string outPath = "BENCH_engine.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--repeat") {
+            repeat = sst::cli::parseInt(
+                "--repeat", sst::cli::argValue(argc, argv, i), 1, 1000);
+        } else if (arg == "--out") {
+            outPath = sst::cli::argValue(argc, argv, i);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: perf_engine [--repeat R] [--out FILE]\n");
+            return 0;
+        } else {
+            sst::fatal("unknown argument '" + arg + "'");
+        }
+    }
+
+    std::vector<Measurement> results;
+    std::printf("%-8s %-10s %-12s %-12s %-14s\n", "ncores", "nthreads",
+                "events", "best_sec", "events/sec");
+    for (const int ncores : {4, 16, 64}) {
+        const Measurement m = measure(ncores, repeat);
+        results.push_back(m);
+        std::printf("%-8d %-10d %-12" PRIu64 " %-12.4f %-14.0f\n",
+                    m.ncores, m.nthreads, m.events, m.bestSeconds,
+                    m.eventsPerSec());
+    }
+
+    std::ofstream out(outPath, std::ios::trunc);
+    if (!out)
+        sst::fatal("cannot write " + outPath);
+    out << toJson(results, repeat);
+    std::printf("wrote %s\n", outPath.c_str());
+    return 0;
+}

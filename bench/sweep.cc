@@ -22,6 +22,7 @@
 
 #include "cli_common.hh"
 #include "core/classify.hh"
+#include "sched/policy.hh"
 #include "driver/sweep.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
@@ -49,9 +50,14 @@ usage()
         "  --refresh               re-run and overwrite cached results\n"
         "  --trace-dir DIR         replay recorded op traces from DIR\n"
         "                          (see `trace record --trace-dir`)\n"
+        "  --sched POLICY          scheduler policy (default:\n"
+        "                          affinity-fifo)\n"
+        "  --sched-seed K          RNG stream for --sched random\n"
         "  --csv FILE              write results as CSV\n"
         "  --json FILE             write results as JSON\n"
-        "  --quiet                 suppress the result table\n");
+        "  --quiet                 suppress the result table\n"
+        "scheduler policies: %s\n",
+        sst::allSchedPolicyLabelsJoined().c_str());
 }
 
 void
@@ -104,6 +110,12 @@ main(int argc, char **argv)
                 opts.refresh = true;
             } else if (arg == "--trace-dir") {
                 opts.traceDir = argValue(argc, argv, i);
+            } else if (arg == "--sched") {
+                grid.baseParams.schedPolicy =
+                    sst::parseSchedPolicy(argValue(argc, argv, i));
+            } else if (arg == "--sched-seed") {
+                grid.baseParams.schedSeed = sst::cli::parseU64(
+                    "--sched-seed", argValue(argc, argv, i));
             } else if (arg == "--csv") {
                 csvPath = argValue(argc, argv, i);
             } else if (arg == "--json") {
@@ -117,6 +129,12 @@ main(int argc, char **argv)
                 usage();
                 sst::fatal("unknown argument '" + arg + "'");
             }
+        }
+
+        if (grid.baseParams.schedSeed != 0 &&
+            grid.baseParams.schedPolicy != sst::SchedPolicy::kRandom) {
+            sst::fatal("--sched-seed only affects --sched random; the "
+                       "seed would be silently ignored");
         }
 
         const std::vector<sst::JobSpec> jobs = sst::expandGrid(grid);

@@ -22,8 +22,10 @@
 #include <filesystem>
 #include <string>
 
+#include "cache/hierarchy.hh"
 #include "cli_common.hh"
 #include "driver/job.hh"
+#include "sched/policy.hh"
 #include "trace/trace_run.hh"
 #include "util/logging.hh"
 #include "workload/profile.hh"
@@ -39,12 +41,17 @@ usage()
         "usage: trace <record|replay|info> [options]\n"
         "  record --profile LABEL [--threads N] (--out FILE | "
         "--trace-dir DIR)\n"
-        "         [--seed-offset K] [--quiet]\n"
+        "         [--seed-offset K] [--sched POLICY] [--sched-seed K]\n"
+        "         [--quiet]\n"
         "      run the live experiment, write the op trace\n"
-        "  replay --in FILE [--quiet]\n"
-        "      re-simulate from the trace (no workload generation)\n"
+        "  replay --in FILE [--sched POLICY] [--quiet]\n"
+        "      re-simulate from the trace (no workload generation);\n"
+        "      --sched must match the recorded policy (it documents\n"
+        "      the expectation, replay always uses the recording's)\n"
         "  info --in FILE\n"
-        "      print header and per-stream statistics\n");
+        "      print header and per-stream statistics\n"
+        "scheduler policies: %s\n",
+        sst::allSchedPolicyLabelsJoined().c_str());
 }
 
 /**
@@ -78,6 +85,7 @@ cmdRecord(int argc, char **argv)
     std::string label, outPath, traceDir;
     int nthreads = 16;
     std::uint64_t seedOffset = 0;
+    sst::SimParams params;
     bool quiet = false;
 
     for (int i = 2; i < argc; ++i) {
@@ -85,9 +93,12 @@ cmdRecord(int argc, char **argv)
         if (arg == "--profile") {
             label = argValue(argc, argv, i);
         } else if (arg == "--threads") {
+            // The recording runs live on nthreads cores, so the
+            // simulator's core cap bounds this (the format itself
+            // allows up to trace::kMaxThreads streams).
             nthreads = sst::cli::parseInt(
                 "--threads", argValue(argc, argv, i), 1,
-                static_cast<long>(sst::trace::kMaxThreads));
+                static_cast<long>(sst::kMaxSimCores));
         } else if (arg == "--out") {
             outPath = argValue(argc, argv, i);
         } else if (arg == "--trace-dir") {
@@ -95,6 +106,12 @@ cmdRecord(int argc, char **argv)
         } else if (arg == "--seed-offset") {
             seedOffset = sst::cli::parseU64("--seed-offset",
                                             argValue(argc, argv, i));
+        } else if (arg == "--sched") {
+            params.schedPolicy =
+                sst::parseSchedPolicy(argValue(argc, argv, i));
+        } else if (arg == "--sched-seed") {
+            params.schedSeed = sst::cli::parseU64(
+                "--sched-seed", argValue(argc, argv, i));
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -105,6 +122,11 @@ cmdRecord(int argc, char **argv)
     if (label.empty())
         sst::fatal("record needs --profile (one of: " +
                    sst::allProfileLabelsJoined() + ")");
+    if (params.schedSeed != 0 &&
+        params.schedPolicy != sst::SchedPolicy::kRandom) {
+        sst::fatal("--sched-seed only affects --sched random; the "
+                   "seed would be silently ignored");
+    }
     if (outPath.empty() == traceDir.empty())
         sst::fatal("record needs exactly one of --out or --trace-dir");
 
@@ -114,12 +136,13 @@ cmdRecord(int argc, char **argv)
     if (!traceDir.empty()) {
         std::filesystem::create_directories(traceDir);
         outPath = sst::tracePathFor(traceDir, profile, nthreads,
-                                    seedOffset);
+                                    seedOffset, params.schedPolicy,
+                                    params.schedSeed);
     }
 
     std::uint64_t ops = 0;
     const sst::SpeedupExperiment exp = sst::recordSpeedupTrace(
-        sst::SimParams{}, profile, nthreads, outPath, &ops);
+        params, profile, nthreads, outPath, &ops);
     printExperiment(exp);
     if (!quiet) {
         const auto bytes = std::filesystem::file_size(outPath);
@@ -137,10 +160,15 @@ cmdReplay(int argc, char **argv)
 {
     std::string inPath;
     bool quiet = false;
+    bool schedGiven = false;
+    sst::SchedPolicy sched = sst::SchedPolicy::kAffinityFifo;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--in") {
             inPath = argValue(argc, argv, i);
+        } else if (arg == "--sched") {
+            sched = sst::parseSchedPolicy(argValue(argc, argv, i));
+            schedGiven = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -151,8 +179,12 @@ cmdReplay(int argc, char **argv)
     if (inPath.empty())
         sst::fatal("replay needs --in FILE");
 
+    const sst::TraceReader reader(inPath);
+    if (schedGiven)
+        reader.requireSchedPolicy(sched); // TraceError -> fatal in main
+
     const sst::SpeedupExperiment exp =
-        sst::replaySpeedupTrace(sst::SimParams{}, inPath);
+        sst::replaySpeedupTrace(sst::SimParams{}, reader);
     printExperiment(exp);
     if (!quiet)
         std::printf("replayed %s\n", inPath.c_str());
@@ -182,6 +214,9 @@ cmdInfo(int argc, char **argv)
     std::printf("benchmark           %s\n", meta.label.c_str());
     std::printf("threads             %d\n", meta.nthreads);
     std::printf("profile_hash        %016" PRIx64 "\n", meta.profileHash);
+    std::printf("sched_policy        %s\n",
+                sst::schedPolicyLabel(meta.schedPolicy));
+    std::printf("sched_seed          %" PRIu64 "\n", meta.schedSeed);
     std::uint64_t total_ops = 0, total_bytes = 0;
     for (int s = 0; s < reader.nstreams(); ++s) {
         const bool baseline = s == meta.nthreads;

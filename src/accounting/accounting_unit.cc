@@ -149,6 +149,12 @@ AccountingUnit::gtBarrierYield(ThreadId tid, Cycles cycles)
 }
 
 void
+AccountingUnit::gtPreemptYield(ThreadId tid, Cycles cycles)
+{
+    threads_[static_cast<std::size_t>(tid)].gtPreemptYield += cycles;
+}
+
+void
 AccountingUnit::gtMemWaitOther(ThreadId tid, Cycles cycles)
 {
     threads_[static_cast<std::size_t>(tid)].gtMemWaitOther += cycles;

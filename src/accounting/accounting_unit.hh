@@ -108,6 +108,7 @@ class AccountingUnit
     void gtBarrierSpin(ThreadId tid, Cycles cycles);
     void gtLockYield(ThreadId tid, Cycles cycles);
     void gtBarrierYield(ThreadId tid, Cycles cycles);
+    void gtPreemptYield(ThreadId tid, Cycles cycles);
     void gtMemWaitOther(ThreadId tid, Cycles cycles);
     void setFinishTime(ThreadId tid, Cycles when);
 

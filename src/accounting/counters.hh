@@ -63,11 +63,17 @@ struct ThreadCounters
     Cycles gtBarrierSpin = 0;      ///< exact cycles spinning on barriers
     Cycles gtLockYield = 0;        ///< exact descheduled time on locks
     Cycles gtBarrierYield = 0;     ///< exact descheduled time on barriers
+    Cycles gtPreemptYield = 0;     ///< exact ready-queue wait after a
+                                   ///< time-slice preemption
     Cycles gtMemWaitOther = 0;     ///< exact memory wait behind other cores
     Cycles finishTime = 0;         ///< cycle this thread completed
 
     Cycles gtSpin() const { return gtLockSpin + gtBarrierSpin; }
-    Cycles gtYield() const { return gtLockYield + gtBarrierYield; }
+    Cycles
+    gtYield() const
+    {
+        return gtLockYield + gtBarrierYield + gtPreemptYield;
+    }
 };
 
 } // namespace sst

@@ -1,22 +1,11 @@
 #include "hw_cost.hh"
 
+#include "util/bits.hh"
+
 #include "util/logging.hh"
 #include "util/types.hh"
 
 namespace sst {
-
-namespace {
-
-int
-log2i(std::uint64_t v)
-{
-    int n = 0;
-    while ((1ULL << n) < v)
-        ++n;
-    return n;
-}
-
-} // namespace
 
 HwCostBreakdown
 computeHwCost(const HwCostConfig &config)

@@ -1,21 +1,9 @@
 #include "atd.hh"
 
+#include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace sst {
-
-namespace {
-
-int
-log2i(std::uint64_t v)
-{
-    int n = 0;
-    while ((1ULL << n) < v)
-        ++n;
-    return n;
-}
-
-} // namespace
 
 Atd::Atd(std::uint64_t llc_size_bytes, int llc_ways, int sampling_factor)
     : llcSets_(static_cast<int>(llc_size_bytes / kLineBytes /
@@ -28,6 +16,11 @@ Atd::Atd(std::uint64_t llc_size_bytes, int llc_ways, int sampling_factor)
     sstAssert(sampling_ >= 1, "ATD sampling factor must be >= 1");
     sstAssert(llcSets_ % sampling_ == 0,
               "ATD sampling factor must divide the LLC set count");
+    llcSetBits_ = log2i(static_cast<std::uint64_t>(llcSets_));
+    atdSetBits_ = log2i(static_cast<std::uint64_t>(array_.sets()));
+    const std::uint64_t f = static_cast<std::uint64_t>(sampling_);
+    if (isPow2(f))
+        samplingMask_ = f - 1;
 }
 
 bool
@@ -35,6 +28,8 @@ Atd::isSampled(Addr line) const
 {
     const std::uint64_t llc_set =
         line & (static_cast<std::uint64_t>(llcSets_) - 1);
+    if (samplingMask_ != 0 || sampling_ == 1)
+        return (llc_set & samplingMask_) == 0;
     return llc_set % static_cast<std::uint64_t>(sampling_) == 0;
 }
 
@@ -52,12 +47,10 @@ Atd::access(Addr line)
     // in the upper bits.
     const std::uint64_t llc_set =
         line & (static_cast<std::uint64_t>(llcSets_) - 1);
-    const std::uint64_t tag =
-        line >> log2i(static_cast<std::uint64_t>(llcSets_));
+    const std::uint64_t tag = line >> llcSetBits_;
     const std::uint64_t atd_set =
         llc_set / static_cast<std::uint64_t>(sampling_);
-    const Addr pseudo =
-        (tag << log2i(static_cast<std::uint64_t>(array_.sets()))) | atd_set;
+    const Addr pseudo = (tag << atdSetBits_) | atd_set;
 
     if (TagEntry *e = array_.findValid(pseudo)) {
         probe.hit = true;

@@ -69,6 +69,11 @@ class Atd
     int llcSets_;
     int sampling_;
     int atdSets_;
+    int llcSetBits_ = 0;  ///< log2(llcSets_), cached off the hot path
+    int atdSetBits_ = 0;  ///< log2(array_.sets()), cached likewise
+    /** sampling_ - 1 when sampling_ is a power of two, else 0 (slow
+     *  modulo path); the sampled-set test runs on every LLC access. */
+    std::uint64_t samplingMask_ = 0;
     SetAssocArray array_;
     std::uint64_t sampledAccesses_ = 0;
 };

@@ -6,10 +6,10 @@ namespace sst {
 
 namespace {
 
-std::uint32_t
+std::uint64_t
 bit(CoreId core)
 {
-    return 1u << static_cast<unsigned>(core);
+    return std::uint64_t(1) << static_cast<unsigned>(core);
 }
 
 } // namespace
@@ -18,8 +18,9 @@ CacheHierarchy::CacheHierarchy(int ncores, const CacheParams &params)
     : ncores_(ncores), params_(params),
       llc_(params.llcBytes, params.llcWays)
 {
-    sstAssert(ncores >= 1 && ncores <= 32,
-              "CacheHierarchy supports 1..32 cores");
+    sstAssert(ncores >= 1 && ncores <= kMaxSimCores,
+              "CacheHierarchy supports 1.." +
+                  std::to_string(kMaxSimCores) + " cores");
     l1s_.reserve(static_cast<std::size_t>(ncores));
     for (int c = 0; c < ncores; ++c) {
         l1s_.emplace_back(params.l1Bytes, params.l1Ways);
@@ -36,8 +37,11 @@ CacheHierarchy::CacheHierarchy(int ncores, const CacheParams &params)
 void
 CacheHierarchy::invalidateOtherL1s(Addr line, CoreId keeper, TagEntry &dir)
 {
-    for (int c = 0; c < ncores_; ++c) {
-        if (c == keeper || !(dir.sharers & bit(c)))
+    // Walk set bits (ascending core id, like the old full-core loop)
+    // instead of scanning all ncores per upgrade.
+    for (std::uint64_t rest = dir.sharers; rest != 0; rest &= rest - 1) {
+        const int c = __builtin_ctzll(rest);
+        if (c == keeper)
             continue;
         if (l1s_[static_cast<std::size_t>(c)].invalidate(line,
                                                          /*keep_tag=*/true))
@@ -83,8 +87,13 @@ CacheHierarchy::access(CoreId core, Addr addr, bool is_write)
     auto &l1 = l1s_[static_cast<std::size_t>(core)];
     ++st.l1Accesses;
 
+    // One resident probe serves both the hit test and the
+    // coherency-miss classification (the stale tag case).
+    TagEntry *resident = l1.findAny(line);
+
     // ---- L1 hit path ----------------------------------------------------
-    if (TagEntry *e = l1.findValid(line)) {
+    if (resident && resident->valid) {
+        TagEntry *e = resident;
         out.l1Hit = true;
         ++st.l1Hits;
         l1.touch(*e);
@@ -102,11 +111,9 @@ CacheHierarchy::access(CoreId core, Addr addr, bool is_write)
     }
 
     // ---- L1 miss: classify a possible coherency miss ---------------------
-    if (TagEntry *stale = l1.findAny(line)) {
-        if (stale->coherenceInvalidated) {
-            out.coherencyMiss = true;
-            ++st.coherencyMisses;
-        }
+    if (resident && resident->coherenceInvalidated) {
+        out.coherencyMiss = true;
+        ++st.coherencyMisses;
     }
 
     // ---- shared LLC access ------------------------------------------------
@@ -180,11 +187,11 @@ CacheHierarchy::access(CoreId core, Addr addr, bool is_write)
     TagEntry &dir = llc_.insert(line, &victim);
     if (victim.valid) {
         // Inclusive LLC: back-invalidate every L1 copy of the victim.
-        for (int c = 0; c < ncores_; ++c) {
-            if (victim.sharers & bit(c)) {
-                l1s_[static_cast<std::size_t>(c)].invalidate(
-                    victim.line, /*keep_tag=*/false);
-            }
+        for (std::uint64_t rest = victim.sharers; rest != 0;
+             rest &= rest - 1) {
+            const int c = __builtin_ctzll(rest);
+            l1s_[static_cast<std::size_t>(c)].invalidate(
+                victim.line, /*keep_tag=*/false);
         }
         if (victim.dirty || victim.dirtyOwner != kInvalidId) {
             out.victimWriteback = true;
@@ -211,11 +218,9 @@ void
 CacheHierarchy::flushL1(CoreId core)
 {
     auto &l1 = l1s_[static_cast<std::size_t>(core)];
-    for (TagEntry &e : l1.raw()) {
-        if (!e.valid) {
-            e = TagEntry{};
+    for (const TagEntry &e : l1.raw()) {
+        if (!e.valid)
             continue;
-        }
         if (TagEntry *vdir = llc_.findValid(e.line)) {
             vdir->sharers &= ~bit(core);
             if (e.dirty) {
@@ -224,8 +229,8 @@ CacheHierarchy::flushL1(CoreId core)
                     vdir->dirtyOwner = kInvalidId;
             }
         }
-        e = TagEntry{};
     }
+    l1.reset();
 }
 
 } // namespace sst

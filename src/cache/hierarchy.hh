@@ -25,6 +25,15 @@
 
 namespace sst {
 
+/**
+ * Hard cap on simulated cores: the LLC directory tracks L1 copies in a
+ * 64-bit sharers bitmap. Layers that accept a core/thread count from
+ * users (driver validation, CLIs) check against this instead of letting
+ * the constructor assert abort the process.
+ */
+inline constexpr int kMaxSimCores = 64;
+
+
 /** Geometry of the cache hierarchy; defaults follow the paper (Sec. 5). */
 struct CacheParams
 {

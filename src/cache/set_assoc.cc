@@ -1,18 +1,9 @@
 #include "set_assoc.hh"
 
+#include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace sst {
-
-namespace {
-
-bool
-isPow2(std::uint64_t v)
-{
-    return v != 0 && (v & (v - 1)) == 0;
-}
-
-} // namespace
 
 SetAssocArray::SetAssocArray(std::uint64_t size_bytes, int ways)
     : sets_(static_cast<int>(size_bytes / kLineBytes /
@@ -25,6 +16,8 @@ SetAssocArray::SetAssocArray(std::uint64_t size_bytes, int ways)
               "cache set count must be a power of two");
     entries_.resize(static_cast<std::size_t>(sets_) *
                     static_cast<std::size_t>(ways_));
+    tags_.assign(entries_.size(), kNoTag);
+    stamps_.assign(entries_.size(), 0);
 }
 
 SetAssocArray::SetAssocArray(int sets, int ways, bool)
@@ -36,6 +29,8 @@ SetAssocArray::SetAssocArray(int sets, int ways, bool)
               "cache set count must be a power of two");
     entries_.resize(static_cast<std::size_t>(sets_) *
                     static_cast<std::size_t>(ways_));
+    tags_.assign(entries_.size(), kNoTag);
+    stamps_.assign(entries_.size(), 0);
 }
 
 SetAssocArray
@@ -51,68 +46,41 @@ SetAssocArray::entryAt(std::uint64_t set, int way)
                      static_cast<std::uint64_t>(way)];
 }
 
-TagEntry *
-SetAssocArray::findValid(Addr line)
-{
-    const std::uint64_t set = setIndex(line);
-    for (int w = 0; w < ways_; ++w) {
-        TagEntry *e = entryAt(set, w);
-        if (e->valid && e->line == line)
-            return e;
-    }
-    return nullptr;
-}
-
-TagEntry *
-SetAssocArray::findAny(Addr line)
-{
-    const std::uint64_t set = setIndex(line);
-    for (int w = 0; w < ways_; ++w) {
-        TagEntry *e = entryAt(set, w);
-        if ((e->valid || e->coherenceInvalidated) && e->line == line)
-            return e;
-    }
-    return nullptr;
-}
-
-void
-SetAssocArray::touch(TagEntry &entry)
-{
-    entry.lruStamp = ++stamp_;
-}
-
 TagEntry &
 SetAssocArray::insert(Addr line, TagEntry *victim)
 {
     const std::uint64_t set = setIndex(line);
 
     // Prefer reusing a resident-but-invalid entry for the same line, then
-    // any free way, then the LRU way.
-    TagEntry *target = nullptr;
-    for (int w = 0; w < ways_; ++w) {
-        TagEntry *e = entryAt(set, w);
-        if (e->line == line && (e->valid || e->coherenceInvalidated)) {
-            target = e;
+    // the first free way, then the LRU way — selected in one fused pass
+    // over the compact side arrays (tag search was three passes before,
+    // and insert is the hottest function in the simulator). The LRU
+    // candidate tracks the first minimum in way order among occupied
+    // ways, exactly like the historical dedicated scan.
+    const std::size_t base =
+        static_cast<std::size_t>(set * static_cast<std::uint64_t>(ways_));
+    std::size_t match = base + static_cast<std::size_t>(ways_);
+    std::size_t free_way = match;
+    std::size_t lru = match;
+    for (std::size_t i = base; i < base + static_cast<std::size_t>(ways_);
+         ++i) {
+        const Addr tag = tags_[i];
+        if (tag == line) {
+            match = i;
             break;
         }
-    }
-    if (!target) {
-        for (int w = 0; w < ways_; ++w) {
-            TagEntry *e = entryAt(set, w);
-            if (!e->valid && !e->coherenceInvalidated) {
-                target = e;
-                break;
-            }
+        if (tag == kNoTag) {
+            if (free_way == base + static_cast<std::size_t>(ways_))
+                free_way = i;
+        } else if (lru == base + static_cast<std::size_t>(ways_) ||
+                   stamps_[i] < stamps_[lru]) {
+            lru = i;
         }
     }
-    if (!target) {
-        target = entryAt(set, 0);
-        for (int w = 1; w < ways_; ++w) {
-            TagEntry *e = entryAt(set, w);
-            if (e->lruStamp < target->lruStamp)
-                target = e;
-        }
-    }
+    const std::size_t end = base + static_cast<std::size_t>(ways_);
+    TagEntry *target = &entries_[match != end    ? match
+                                 : free_way != end ? free_way
+                                                   : lru];
 
     if (victim) {
         *victim = *target;
@@ -125,6 +93,10 @@ SetAssocArray::insert(Addr line, TagEntry *victim)
     target->line = line;
     target->valid = true;
     target->lruStamp = ++stamp_;
+    const std::size_t idx =
+        static_cast<std::size_t>(target - entries_.data());
+    tags_[idx] = line;
+    stamps_[idx] = target->lruStamp;
     return *target;
 }
 
@@ -138,10 +110,24 @@ SetAssocArray::invalidate(Addr line, bool keep_tag)
         e->valid = false;
         e->coherenceInvalidated = true;
         e->dirty = false;
+        // Still resident: the tag stays in the probe array.
     } else {
         *e = TagEntry{};
+        const std::size_t idx =
+            static_cast<std::size_t>(e - entries_.data());
+        tags_[idx] = kNoTag;
+        stamps_[idx] = 0;
     }
     return true;
+}
+
+void
+SetAssocArray::reset()
+{
+    for (TagEntry &e : entries_)
+        e = TagEntry{};
+    tags_.assign(entries_.size(), kNoTag);
+    stamps_.assign(entries_.size(), 0);
 }
 
 std::uint64_t

@@ -29,7 +29,7 @@ struct TagEntry
     bool dirty = false;
     bool coherenceInvalidated = false;
     std::uint64_t lruStamp = 0;
-    std::uint32_t sharers = 0; ///< LLC directory: bitmap of L1 copies
+    std::uint64_t sharers = 0; ///< LLC directory: bitmap of L1 copies
     CoreId dirtyOwner = kInvalidId; ///< LLC directory: core with M copy
     CoreId filledBy = kInvalidId;   ///< core whose miss brought the line
 };
@@ -37,6 +37,11 @@ struct TagEntry
 /**
  * Set-associative tag array. Geometry is (sets x ways); lines are mapped
  * by line number modulo the set count. LRU uses a global access stamp.
+ *
+ * Lookups scan a compact parallel array of resident line numbers (8
+ * bytes per way) instead of the ~48-byte TagEntry records, so a 16-way
+ * probe touches two cache lines rather than twelve — tag search is the
+ * hottest function in the whole simulator (every L1/LLC/ATD access).
  */
 class SetAssocArray
 {
@@ -58,13 +63,28 @@ class SetAssocArray
     }
 
     /** Find a valid entry for @p line; nullptr on miss. */
-    TagEntry *findValid(Addr line);
+    TagEntry *
+    findValid(Addr line)
+    {
+        TagEntry *e = findResident(line);
+        return e && e->valid ? e : nullptr;
+    }
 
     /** Find any resident entry (valid or coherence-invalidated). */
-    TagEntry *findAny(Addr line);
+    TagEntry *
+    findAny(Addr line)
+    {
+        return findResident(line);
+    }
 
     /** Update the LRU stamp of @p entry (call on every hit). */
-    void touch(TagEntry &entry);
+    void
+    touch(TagEntry &entry)
+    {
+        entry.lruStamp = ++stamp_;
+        stamps_[static_cast<std::size_t>(&entry - entries_.data())] =
+            entry.lruStamp;
+    }
 
     /**
      * Insert @p line, evicting the LRU way of its set if needed.
@@ -89,18 +109,46 @@ class SetAssocArray
     /** Number of currently valid entries (test/diagnostic helper). */
     std::uint64_t validCount() const;
 
-    /** Raw entry storage (used for whole-cache operations like flushes). */
-    std::vector<TagEntry> &raw() { return entries_; }
+    /** Read-only entry storage (whole-cache walks, e.g. L1 flushes).
+     *  Mutation goes through the API so the compact resident-tag index
+     *  stays consistent. */
     const std::vector<TagEntry> &raw() const { return entries_; }
 
+    /** Clear every entry (flush). */
+    void reset();
+
   private:
+    /** No line resident in this way slot. */
+    static constexpr Addr kNoTag = ~Addr(0);
+
     SetAssocArray(int sets, int ways, bool);
 
     TagEntry *entryAt(std::uint64_t set, int way);
 
+    /** Resident (valid or coherence-invalidated) entry for @p line. */
+    TagEntry *
+    findResident(Addr line)
+    {
+        const std::size_t base = static_cast<std::size_t>(
+            setIndex(line) * static_cast<std::uint64_t>(ways_));
+        for (int w = 0; w < ways_; ++w) {
+            // insert() never duplicates a line within a set, so the
+            // first tag match is the only one.
+            if (tags_[base + static_cast<std::size_t>(w)] == line)
+                return &entries_[base + static_cast<std::size_t>(w)];
+        }
+        return nullptr;
+    }
+
     int sets_;
     int ways_;
     std::vector<TagEntry> entries_;
+    /** Resident line number per way slot (kNoTag when empty); the
+     *  probe array all lookups scan. */
+    std::vector<Addr> tags_;
+    /** Mirror of each entry's lruStamp, so the replacement scan reads
+     *  8 bytes per way instead of whole TagEntry records. */
+    std::vector<std::uint64_t> stamps_;
     std::uint64_t stamp_ = 0;
 };
 

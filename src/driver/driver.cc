@@ -57,6 +57,14 @@ validateSpec(const JobSpec &spec)
         throw std::invalid_argument(
             "job '" + spec.profile.label() + "': nthreads must be >= 1, got " +
             std::to_string(spec.nthreads));
+    // simulate() pins ncores to nthreads, and the cache hierarchy's
+    // sharers bitmap caps the machine size: reject here so an oversized
+    // job fails cleanly instead of panicking the whole process.
+    if (spec.nthreads > kMaxSimCores)
+        throw std::invalid_argument(
+            "job '" + spec.profile.label() + "': nthreads " +
+            std::to_string(spec.nthreads) + " exceeds the " +
+            std::to_string(kMaxSimCores) + "-core simulator limit");
     if (spec.profile.totalIters == 0)
         throw std::invalid_argument("job '" + spec.profile.label() +
                                     "': profile has no work (totalIters == 0)");
@@ -97,11 +105,14 @@ runOneJob(const DriverOptions &opts, const JobSpec &spec,
         std::shared_ptr<const TraceReader> reader;
         if (!opts.traceDir.empty()) {
             const std::string path = tracePathFor(
-                opts.traceDir, profile, spec.nthreads, spec.seedOffset);
+                opts.traceDir, profile, spec.nthreads, spec.seedOffset,
+                spec.params.schedPolicy, spec.params.schedSeed);
             if (std::filesystem::exists(path)) {
                 reader = traces.get(path);
                 reader->requireCompatible(traceProfileHash(profile),
-                                          spec.nthreads);
+                                          spec.nthreads,
+                                          spec.params.schedPolicy,
+                                          spec.params.schedSeed);
             }
         }
 

@@ -130,6 +130,12 @@ encodeParams(std::string &out, const SimParams &params, int ncores_effective)
     put(out, "params.schedPerCoreOverhead", params.schedPerCoreOverhead);
     put(out, "params.timeSliceCycles", params.timeSliceCycles);
     put(out, "params.migrationFlushesL1", params.migrationFlushesL1);
+    put(out, "params.schedPolicy",
+        std::string(schedPolicyLabel(params.schedPolicy)));
+    // The RNG stream only influences random schedules; canonicalizing
+    // it away for deterministic policies maximizes cache sharing.
+    put(out, "params.schedSeed",
+        canonicalSchedSeed(params.schedPolicy, params.schedSeed));
     put(out, "cache.l1Bytes", params.cache.l1Bytes);
     put(out, "cache.l1Ways", params.cache.l1Ways);
     put(out, "cache.llcBytes", params.cache.llcBytes);
@@ -186,7 +192,13 @@ fingerprintBaseline(const JobSpec &spec)
     put(out, "fingerprint.version", kFingerprintVersion);
     put(out, "job.kind", std::string("baseline"));
     encodeProfile(out, spec.effectiveProfile());
-    encodeParams(out, spec.params, 1);
+    // One thread on one core never consults the scheduler policy (no
+    // contention, no wakes, no preemption), so canonicalize it away:
+    // cross-policy sweeps then share one baseline per profile.
+    SimParams base = spec.params;
+    base.schedPolicy = SchedPolicy::kAffinityFifo;
+    base.schedSeed = 0;
+    encodeParams(out, base, 1);
     return finish(std::move(out));
 }
 

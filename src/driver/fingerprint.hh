@@ -25,8 +25,13 @@
 
 namespace sst {
 
-/** Bump to invalidate all cached results after behavioural changes. */
-inline constexpr int kFingerprintVersion = 1;
+/**
+ * Bump to invalidate all cached results after behavioural changes.
+ * v2: unified event engine + scheduler subsystem; preemption wait is
+ * now charged to yield time (changes oversubscribed-run counters), and
+ * the encoding gained params.schedPolicy / params.schedSeed.
+ */
+inline constexpr int kFingerprintVersion = 2;
 
 /** FNV-1a 64-bit hash of @p data. */
 std::uint64_t fnv1a64(const std::string &data);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace sst {
@@ -12,11 +13,25 @@ BusTimeline::pruneBefore(Cycles t)
     // Only safe with a watermark no later than any future reserve() time:
     // callers use the (monotone) request issue time.
     std::size_t keep = 0;
-    for (std::size_t i = 0; i < busy_.size(); ++i) {
+    for (std::size_t i = head_; i < busy_.size(); ++i) {
         if (busy_[i].end > t)
             busy_[keep++] = busy_[i];
     }
     busy_.resize(keep);
+    head_ = 0;
+}
+
+void
+BusTimeline::pruneFront(Cycles t)
+{
+    while (head_ < busy_.size() && busy_[head_].end <= t)
+        ++head_;
+    // Compact once the dead prefix dominates; amortized O(1) per call.
+    if (head_ >= 64 && head_ * 2 >= busy_.size()) {
+        busy_.erase(busy_.begin(),
+                    busy_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+    }
 }
 
 Cycles
@@ -26,7 +41,7 @@ BusTimeline::reserve(Cycles t, Cycles len, CoreId who, CoreId &blocker)
 
     // First-fit gap search along the sorted busy list.
     Cycles cur = t;
-    std::size_t pos = 0;
+    std::size_t pos = head_;
     for (; pos < busy_.size(); ++pos) {
         const Interval &iv = busy_[pos];
         if (iv.end <= cur)
@@ -43,7 +58,7 @@ BusTimeline::reserve(Cycles t, Cycles len, CoreId who, CoreId &blocker)
 
     // Insert keeping the start order.
     Interval mine{cur, cur + len, who};
-    auto it = busy_.begin();
+    auto it = busy_.begin() + static_cast<std::ptrdiff_t>(head_);
     while (it != busy_.end() && it->start < mine.start)
         ++it;
     busy_.insert(it, mine);
@@ -59,11 +74,22 @@ DramModel::DramModel(int ncores, const DramParams &params)
     ora_.resize(static_cast<std::size_t>(ncores));
     for (auto &per_core : ora_)
         per_core.resize(static_cast<std::size_t>(params.nbanks));
+
+    const std::uint64_t nb = static_cast<std::uint64_t>(params.nbanks);
+    if (isPow2(nb)) {
+        bankMask_ = nb - 1;
+        bankBits_ = log2i(nb);
+    }
+    const std::uint64_t lines_per_row = params.rowBytes / kLineBytes;
+    if (lines_per_row > 1 && isPow2(lines_per_row))
+        rowShift_ = log2i(lines_per_row);
 }
 
 int
 DramModel::bankOf(Addr addr) const
 {
+    if (bankMask_ != 0 || params_.nbanks == 1)
+        return static_cast<int>(lineNum(addr) & bankMask_);
     return static_cast<int>(lineNum(addr) %
                             static_cast<std::uint64_t>(params_.nbanks));
 }
@@ -72,6 +98,8 @@ std::uint64_t
 DramModel::rowOf(Addr addr) const
 {
     const std::uint64_t lines_per_row = params_.rowBytes / kLineBytes;
+    if ((bankMask_ != 0 || params_.nbanks == 1) && rowShift_ != 0)
+        return (lineNum(addr) >> bankBits_) >> rowShift_;
     return lineNum(addr) / static_cast<std::uint64_t>(params_.nbanks) /
            lines_per_row;
 }
@@ -87,7 +115,7 @@ DramModel::access(CoreId core, Addr addr, Cycles now)
     res.row = rowOf(addr);
     Bank &bank = banks_[static_cast<std::size_t>(res.bank)];
 
-    bus_.pruneBefore(now);
+    bus_.pruneFront(now);
 
     // ---- command transfer on the shared bus -----------------------------
     CoreId blocker = kInvalidId;

@@ -96,8 +96,18 @@ class BusTimeline
      */
     void pruneBefore(Cycles t);
 
-    /** Number of live reservations (test/diagnostic helper). */
-    std::size_t liveReservations() const { return busy_.size(); }
+    /**
+     * Amortized-O(1) variant for the per-access hot path: drop only the
+     * leading run of expired reservations by advancing a head index
+     * (compacting the backing vector when the dead prefix grows).
+     * Interior expired intervals are left in place — reserve() skips
+     * them anyway, so the computed schedule is identical to pruning
+     * fully on every access.
+     */
+    void pruneFront(Cycles t);
+
+    /** Number of retained reservations (test/diagnostic helper). */
+    std::size_t liveReservations() const { return busy_.size() - head_; }
 
   private:
     struct Interval
@@ -106,7 +116,8 @@ class BusTimeline
         Cycles end;
         CoreId owner;
     };
-    std::vector<Interval> busy_; ///< sorted by start
+    std::vector<Interval> busy_; ///< busy_[head_..]: sorted by start
+    std::size_t head_ = 0;       ///< first live slot in busy_
 };
 
 /** Shared bus + banked open-page DRAM + per-core ORAs. */
@@ -143,6 +154,12 @@ class DramModel
   private:
     int ncores_;
     DramParams params_;
+
+    /** nbanks - 1 when nbanks is a power of two, else 0 (slow modulo
+     *  path); bankOf/rowOf run on every DRAM access. */
+    std::uint64_t bankMask_ = 0;
+    int bankBits_ = 0;
+    int rowShift_ = 0; ///< log2(lines per row), 0 when not a power of two
 
     BusTimeline bus_;
 

@@ -1,0 +1,22 @@
+#include "affinity_fifo.hh"
+
+namespace sst {
+
+ThreadId
+AffinityFifoScheduler::pickNext(CoreId core)
+{
+    if (queue_.empty())
+        return kInvalidId;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->lastCore == core) {
+            const ThreadId tid = it->tid;
+            queue_.erase(it);
+            return tid;
+        }
+    }
+    const ThreadId tid = queue_.front().tid;
+    queue_.pop_front();
+    return tid;
+}
+
+} // namespace sst

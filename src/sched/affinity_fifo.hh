@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The default scheduler policy: FIFO ready queue with cache affinity.
+ * Bit-identical to the scheduler that was historically hard-wired into
+ * the simulator core, so it anchors every golden result.
+ */
+
+#ifndef SST_SCHED_AFFINITY_FIFO_HH
+#define SST_SCHED_AFFINITY_FIFO_HH
+
+#include <deque>
+
+#include "sched/scheduler.hh"
+
+namespace sst {
+
+/**
+ * Prefer a ready thread that last ran on the idle core (its L1 state
+ * may still be resident, like a real scheduler's wake affinity); fall
+ * back to the queue head. Woken threads with an idle core in hand jump
+ * the queue (wake fast path).
+ */
+class AffinityFifoScheduler : public Scheduler
+{
+  public:
+    using Scheduler::Scheduler;
+
+    const char *name() const override { return "affinity-fifo"; }
+
+    void
+    enqueue(const ReadyThread &t, bool preferred) override
+    {
+        if (preferred)
+            queue_.push_front(t);
+        else
+            queue_.push_back(t);
+    }
+
+    ThreadId pickNext(CoreId core) override;
+
+    bool hasReady() const override { return !queue_.empty(); }
+
+  protected:
+    std::deque<ReadyThread> queue_; ///< shared with RoundRobinScheduler
+};
+
+} // namespace sst
+
+#endif // SST_SCHED_AFFINITY_FIFO_HH

@@ -1,0 +1,76 @@
+#include "policy.hh"
+
+#include <stdexcept>
+
+namespace sst {
+
+namespace {
+
+/**
+ * The one source of truth: labels indexed by enum value. Every lookup
+ * (label, parse, raw decode) goes through this table, so adding a
+ * policy is a one-line change here plus the enumerator.
+ */
+constexpr const char *kPolicyLabels[] = {
+    "affinity-fifo", // kAffinityFifo
+    "round-robin",   // kRoundRobin
+    "random",        // kRandom
+};
+
+constexpr std::size_t kPolicyCount =
+    sizeof(kPolicyLabels) / sizeof(kPolicyLabels[0]);
+
+} // namespace
+
+const char *
+schedPolicyLabel(SchedPolicy policy)
+{
+    const auto idx = static_cast<std::size_t>(policy);
+    return idx < kPolicyCount ? kPolicyLabels[idx] : "?";
+}
+
+const std::vector<std::string> &
+allSchedPolicyLabels()
+{
+    static const std::vector<std::string> labels(
+        kPolicyLabels, kPolicyLabels + kPolicyCount);
+    return labels;
+}
+
+std::string
+allSchedPolicyLabelsJoined()
+{
+    std::string out;
+    for (std::size_t i = 0; i < kPolicyCount; ++i) {
+        if (!out.empty())
+            out += ", ";
+        out += kPolicyLabels[i];
+    }
+    return out;
+}
+
+SchedPolicy
+parseSchedPolicy(const std::string &label)
+{
+    for (std::size_t i = 0; i < kPolicyCount; ++i) {
+        if (label == kPolicyLabels[i])
+            return static_cast<SchedPolicy>(i);
+    }
+    throw std::invalid_argument("unknown scheduler policy '" + label +
+                                "'; valid policies: " +
+                                allSchedPolicyLabelsJoined());
+}
+
+SchedPolicy
+schedPolicyFromRaw(std::uint32_t raw)
+{
+    if (raw >= kPolicyCount) {
+        throw std::invalid_argument(
+            "scheduler policy id " + std::to_string(raw) +
+            " out of range (0.." + std::to_string(kPolicyCount - 1) +
+            ")");
+    }
+    return static_cast<SchedPolicy>(raw);
+}
+
+} // namespace sst

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Round-robin scheduler policy: strict FIFO pick, affinity ignored.
+ * Isolates what cache affinity buys the default policy — under
+ * oversubscription every context switch may migrate the thread, so the
+ * incoming thread re-warms its L1 from the LLC. Shares the FIFO pool
+ * and wake fast path with AffinityFifoScheduler; only the pick differs.
+ */
+
+#ifndef SST_SCHED_ROUND_ROBIN_HH
+#define SST_SCHED_ROUND_ROBIN_HH
+
+#include "sched/affinity_fifo.hh"
+
+namespace sst {
+
+/** Strict arrival-order pick from one shared ready queue. */
+class RoundRobinScheduler : public AffinityFifoScheduler
+{
+  public:
+    using AffinityFifoScheduler::AffinityFifoScheduler;
+
+    const char *name() const override { return "round-robin"; }
+
+    ThreadId
+    pickNext(CoreId) override
+    {
+        if (queue_.empty())
+            return kInvalidId;
+        const ThreadId tid = queue_.front().tid;
+        queue_.pop_front();
+        return tid;
+    }
+};
+
+} // namespace sst
+
+#endif // SST_SCHED_ROUND_ROBIN_HH

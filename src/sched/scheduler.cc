@@ -1,0 +1,73 @@
+#include "scheduler.hh"
+
+#include "sched/affinity_fifo.hh"
+#include "sched/random_sched.hh"
+#include "sched/round_robin.hh"
+#include "sim/params.hh"
+#include "util/logging.hh"
+
+namespace sst {
+
+Scheduler::Scheduler(const SimParams &params, int nthreads)
+    : params_(params), nthreads_(nthreads),
+      idle_(static_cast<std::size_t>(params.ncores), 1)
+{
+    sstAssert(params.ncores >= 1, "Scheduler needs at least one core");
+}
+
+Scheduler::~Scheduler() = default;
+
+void
+Scheduler::onCoreBusy(CoreId core)
+{
+    idle_[static_cast<std::size_t>(core)] = 0;
+}
+
+void
+Scheduler::onCoreIdle(CoreId core)
+{
+    idle_[static_cast<std::size_t>(core)] = 1;
+}
+
+CoreId
+Scheduler::firstIdleCore(CoreId preferred) const
+{
+    if (preferred != kInvalidId &&
+        idle_[static_cast<std::size_t>(preferred)]) {
+        return preferred;
+    }
+    for (std::size_t c = 0; c < idle_.size(); ++c) {
+        if (idle_[c])
+            return static_cast<CoreId>(c);
+    }
+    return kInvalidId;
+}
+
+CoreId
+Scheduler::placeWoken(ThreadId, CoreId last_core) const
+{
+    return firstIdleCore(last_core);
+}
+
+bool
+Scheduler::shouldPreempt(Cycles now, Cycles slice_start) const
+{
+    return nthreads_ > params_.ncores &&
+           now >= slice_start + params_.timeSliceCycles;
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(const SimParams &params, int nthreads)
+{
+    switch (params.schedPolicy) {
+      case SchedPolicy::kAffinityFifo:
+        return std::make_unique<AffinityFifoScheduler>(params, nthreads);
+      case SchedPolicy::kRoundRobin:
+        return std::make_unique<RoundRobinScheduler>(params, nthreads);
+      case SchedPolicy::kRandom:
+        return std::make_unique<RandomScheduler>(params, nthreads);
+    }
+    panic("unhandled scheduler policy");
+}
+
+} // namespace sst

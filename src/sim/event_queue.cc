@@ -1,0 +1,116 @@
+#include "event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace sst {
+
+EventQueue::EventQueue(int ncores)
+    : ncores_(static_cast<std::size_t>(ncores))
+{
+    sstAssert(ncores >= 1, "EventQueue needs at least one core");
+    heap_.reserve(ncores_ * 2);
+    corePos_.resize(ncores_);
+    for (std::size_t c = 0; c < ncores_; ++c) {
+        heap_.push_back(Entry{kNeverCycles,
+                              static_cast<std::uint8_t>(Kind::kCore),
+                              static_cast<std::int32_t>(c)});
+        corePos_[c] = static_cast<std::int32_t>(c);
+    }
+    // All keys equal (kNeverCycles): any array order is a valid heap.
+}
+
+bool
+EventQueue::before(const Entry &a, const Entry &b)
+{
+    if (a.at != b.at)
+        return a.at < b.at;
+    if (a.kind != b.kind)
+        return a.kind < b.kind;
+    return a.id < b.id;
+}
+
+void
+EventQueue::moveTo(const Entry &e, std::size_t i)
+{
+    heap_[i] = e;
+    if (e.kind == static_cast<std::uint8_t>(Kind::kCore))
+        corePos_[static_cast<std::size_t>(e.id)] =
+            static_cast<std::int32_t>(i);
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    const Entry e = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!before(e, heap_[parent]))
+            break;
+        moveTo(heap_[parent], i);
+        i = parent;
+    }
+    moveTo(e, i);
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const Entry e = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && before(heap_[child + 1], heap_[child]))
+            ++child;
+        if (!before(heap_[child], e))
+            break;
+        moveTo(heap_[child], i);
+        i = child;
+    }
+    moveTo(e, i);
+}
+
+void
+EventQueue::updateCore(CoreId core, Cycles at)
+{
+    const std::size_t pos =
+        static_cast<std::size_t>(corePos_[static_cast<std::size_t>(core)]);
+    const Cycles old = heap_[pos].at;
+    heap_[pos].at = at;
+    if (at < old)
+        siftUp(pos);
+    else if (at > old)
+        siftDown(pos);
+}
+
+void
+EventQueue::pushWake(Cycles at, ThreadId tid)
+{
+    heap_.push_back(Entry{at, static_cast<std::uint8_t>(Kind::kWake),
+                          static_cast<std::int32_t>(tid)});
+    siftUp(heap_.size() - 1);
+}
+
+EventQueue::Event
+EventQueue::peek() const
+{
+    const Entry &top = heap_.front();
+    return Event{top.at, static_cast<Kind>(top.kind), top.id};
+}
+
+void
+EventQueue::popWake()
+{
+    sstAssert(heap_.front().kind ==
+                  static_cast<std::uint8_t>(Kind::kWake),
+              "popWake: minimum event is not a wake");
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_.front() = last; // moveTo via siftDown below
+        siftDown(0);
+    }
+}
+
+} // namespace sst

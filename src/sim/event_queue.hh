@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The unified simulation event queue: one indexed min-heap holding both
+ * kinds of future events — each core's next scheduled action and every
+ * pending futex-style wake — ordered by the total key
+ * (cycle, kind, id). The event loop used to rescan all cores linearly
+ * on every event (O(ncores) per event) next to a separate wake queue;
+ * the heap makes each advance O(log ncores) and preserves the exact
+ * historical tie-breaks, so results are bit-identical:
+ *
+ *  - wakes fire before core events at the same cycle (the old loop's
+ *    `wake_at <= core_at` test), hence Kind::kWake < Kind::kCore;
+ *  - simultaneous wakes fire in ascending thread id;
+ *  - simultaneous core events fire in ascending core id (the old linear
+ *    scan kept the first minimum).
+ *
+ * Core events are resident: every core always has exactly one entry,
+ * re-keyed in place via its heap-position index (an idle core sits at
+ * kNeverCycles). Wake events are one-shot: pushed on enqueueWake,
+ * popped when dispatched.
+ */
+
+#ifndef SST_SIM_EVENT_QUEUE_HH
+#define SST_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace sst {
+
+/** Sentinel cycle: no event scheduled. Sorts after every real cycle. */
+inline constexpr Cycles kNeverCycles = ~Cycles(0);
+
+/** Indexed binary min-heap over core and wake events (see file doc). */
+class EventQueue
+{
+  public:
+    enum class Kind : std::uint8_t {
+        kWake = 0, ///< a blocked thread becomes ready (id = thread)
+        kCore = 1, ///< a core's next scheduled action (id = core)
+    };
+
+    /** The earliest pending event. */
+    struct Event
+    {
+        Cycles at = kNeverCycles;
+        Kind kind = Kind::kCore;
+        std::int32_t id = 0; ///< core id or woken thread id, per kind
+    };
+
+    /** All @p ncores core entries start resident at kNeverCycles. */
+    explicit EventQueue(int ncores);
+
+    /** Re-key core @p core's resident entry to @p at. O(log size). */
+    void updateCore(CoreId core, Cycles at);
+
+    /** Add a one-shot wake of @p tid at @p at. O(log size). */
+    void pushWake(Cycles at, ThreadId tid);
+
+    /** The minimum event. Never empty: core entries are resident. */
+    Event peek() const;
+
+    /** Pop the minimum, which must be a wake event. */
+    void popWake();
+
+    /** Resident core entries + pending wakes. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Pending wake events. */
+    std::size_t pendingWakes() const { return heap_.size() - ncores_; }
+
+  private:
+    struct Entry
+    {
+        Cycles at;
+        std::uint8_t kind; ///< raw Kind, lexicographic after `at`
+        std::int32_t id;
+    };
+
+    static bool before(const Entry &a, const Entry &b);
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    void moveTo(const Entry &e, std::size_t i);
+
+    std::vector<Entry> heap_;
+    /** Heap position of each core's resident entry. */
+    std::vector<std::int32_t> corePos_;
+    std::size_t ncores_;
+};
+
+} // namespace sst
+
+#endif // SST_SIM_EVENT_QUEUE_HH

@@ -11,6 +11,7 @@
 #include "accounting/accounting_unit.hh"
 #include "cache/hierarchy.hh"
 #include "mem/dram.hh"
+#include "sched/policy.hh"
 #include "util/types.hh"
 
 namespace sst {
@@ -57,6 +58,18 @@ struct SimParams
      */
     Cycles schedPerCoreOverhead = 5;
     Cycles timeSliceCycles = 4000;  ///< preemption quantum (oversubscribed)
+    /**
+     * Scheduler policy (src/sched/): thread placement, affinity and
+     * pick order. The default reproduces the historical hard-wired
+     * scheduler bit for bit; alternatives open the Figure 7
+     * scheduling-scenario axis.
+     */
+    SchedPolicy schedPolicy = SchedPolicy::kAffinityFifo;
+    /**
+     * RNG stream selector for stochastic policies (SchedPolicy::kRandom).
+     * Distinct seeds give independent, reproducible schedules.
+     */
+    std::uint64_t schedSeed = 0;
     /**
      * Explicitly flush the L1 when a core switches to a different
      * thread. Off by default: cold-start behaviour already emerges

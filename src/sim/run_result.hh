@@ -49,6 +49,10 @@ struct RunResult
     /** Barrier-release snapshots for per-region stacks (Section 4.6). */
     std::vector<RegionBoundary> regions;
 
+    /** Events the engine dispatched (core actions + wakes); the
+     *  denominator of event-loop throughput (bench/perf_engine). */
+    std::uint64_t engineEvents = 0;
+
     /** Sum of a per-thread counter over all threads. */
     template <typename F>
     std::uint64_t

@@ -30,11 +30,13 @@ System::System(const SimParams &params, const OpSourceFactory &sources,
     : params_(params), nthreads_(nthreads),
       hierarchy_(params.ncores, params.cache),
       dram_(params.ncores, params.dram),
-      acct_(nthreads, params.accounting)
+      acct_(nthreads, params.accounting),
+      events_(params.ncores)
 {
     sstAssert(nthreads >= 1, "System needs at least one thread");
     sstAssert(params.ncores >= 1, "System needs at least one core");
     sstAssert(static_cast<bool>(sources), "System needs an op-source factory");
+    sched_ = makeScheduler(params_, nthreads);
 
     threads_.resize(static_cast<std::size_t>(nthreads));
     for (int t = 0; t < nthreads; ++t) {
@@ -66,45 +68,37 @@ System::run()
     ran_ = true;
 
     // Initial placement: the first ncores threads start on the cores, the
-    // rest wait in the ready queue (oversubscription, Figure 7).
+    // rest wait in the ready pool (oversubscription, Figure 7).
     const int placed = std::min(nthreads_, params_.ncores);
     for (int t = 0; t < placed; ++t) {
         Thread &th = threads_[static_cast<std::size_t>(t)];
         th.state = ThreadState::kRunning;
         th.lastCore = t;
         th.sliceStart = 0;
-        cores_[static_cast<std::size_t>(t)].thread = t;
-        cores_[static_cast<std::size_t>(t)].nextEventAt = 0;
+        Core &core = cores_[static_cast<std::size_t>(t)];
+        core.thread = t;
+        setCoreNext(core, 0);
+        sched_->onCoreBusy(core.id);
     }
     for (int t = placed; t < nthreads_; ++t) {
         threads_[static_cast<std::size_t>(t)].state = ThreadState::kReady;
-        readyQueue_.push_back(t);
+        sched_->enqueue(ReadyThread{t, kInvalidId}, /*preferred=*/false);
     }
 
     constexpr Cycles kCycleCap = 60'000'000'000ULL;
     while (finishedThreads_ < nthreads_) {
-        const Cycles wake_at =
-            wakeQueue_.empty() ? kNever : wakeQueue_.top().at;
-        Core *best = nullptr;
-        for (auto &c : cores_) {
-            if (c.thread == kInvalidId)
-                continue;
-            if (!best || c.nextEventAt < best->nextEventAt)
-                best = &c;
-        }
-        const Cycles core_at = best ? best->nextEventAt : kNever;
-
-        if (wake_at == kNever && core_at == kNever)
+        const EventQueue::Event ev = events_.peek();
+        if (ev.at == kNever)
             panic("simulation deadlock: no runnable events");
-        if (wake_at <= core_at) {
-            const WakeEvent ev = wakeQueue_.top();
-            wakeQueue_.pop();
-            wakeThread(ev.tid, ev.at);
+        ++engineEvents_;
+        if (ev.kind == EventQueue::Kind::kWake) {
+            events_.popWake();
+            wakeThread(ev.id, ev.at);
             continue;
         }
-        if (core_at > kCycleCap)
+        if (ev.at > kCycleCap)
             fatal("simulation exceeded the cycle cap (livelock?)");
-        processCore(*best, core_at);
+        processCore(cores_[static_cast<std::size_t>(ev.id)], ev.at);
     }
 
     RunResult res;
@@ -122,6 +116,7 @@ System::run()
         res.dramStats.push_back(dram_.stats(c));
     }
     res.regions = regions_;
+    res.engineEvents = engineEvents_;
     return res;
 }
 
@@ -142,13 +137,6 @@ System::processCore(Core &core, Cycles now)
       default:
         panic("core event for a thread in a non-executing state");
     }
-}
-
-bool
-System::timeSliceExpired(const Thread &th, Cycles now) const
-{
-    return nthreads_ > params_.ncores &&
-           now >= th.sliceStart + params_.timeSliceCycles;
 }
 
 void
@@ -175,12 +163,13 @@ System::executeFrom(Core &core, Thread &th, Cycles event_time)
         const Op op = th.pending;
 
         // Preemption (only meaningful when oversubscribed).
-        if (op.type != OpType::kEnd && !readyQueue_.empty() &&
-            timeSliceExpired(th, now)) {
+        if (op.type != OpType::kEnd && sched_->hasReady() &&
+            sched_->shouldPreempt(now, th.sliceStart)) {
             th.state = ThreadState::kReady;
-            th.blockReason = BlockReason::kNone;
+            th.blockReason = BlockReason::kPreempt;
             th.blockStart = now;
-            readyQueue_.push_back(th.tid);
+            sched_->enqueue(ReadyThread{th.tid, th.lastCore},
+                            /*preferred=*/false);
             scheduleNext(core, now);
             return;
         }
@@ -203,7 +192,7 @@ System::executeFrom(Core &core, Thread &th, Cycles event_time)
         // the core's scheduled event time. If local execution ran ahead,
         // resubmit the event so other cores' earlier actions go first.
         if (now > event_time) {
-            core.nextEventAt = now;
+            setCoreNext(core, now);
             return;
         }
 
@@ -312,7 +301,7 @@ System::doMemRef(Core &core, Thread &th, const Op &op, Cycles &now)
     chargeInstructions(th, 1, now);
     th.hasPending = false;
     if (stall_until > now) {
-        core.nextEventAt = stall_until;
+        setCoreNext(core, stall_until);
         return false;
     }
     return true;
@@ -344,7 +333,7 @@ System::doLockAcquire(Core &core, Thread &th, const Op &op, Cycles &now)
     th.state = ThreadState::kSpinLock;
     th.spinStart = now;
     th.waitId = op.id;
-    core.nextEventAt = now + params_.spinCheckCycles;
+    setCoreNext(core, now + params_.spinCheckCycles);
     return false; // pending kLockAcquire stays: retried on success/wake
 }
 
@@ -389,7 +378,7 @@ System::doBarrier(Core &core, Thread &th, const Op &op, Cycles &now)
     th.spinStart = now;
     th.waitId = op.id;
     th.waitGeneration = sync_.barrierWord(op.id);
-    core.nextEventAt = now + params_.spinCheckCycles;
+    setCoreNext(core, now + params_.spinCheckCycles);
     return false;
 }
 
@@ -423,12 +412,12 @@ System::spinLockCheck(Core &core, Thread &th, Cycles now)
         hierarchy_.access(core.id, word, true);
         th.state = ThreadState::kRunning;
         th.hasPending = false; // acquire op completed
-        core.nextEventAt = now + 1;
+        setCoreNext(core, now + 1);
         return;
     }
 
     const bool oversubscribed =
-        nthreads_ > params_.ncores && !readyQueue_.empty();
+        nthreads_ > params_.ncores && sched_->hasReady();
     if (oversubscribed ||
         now - th.spinStart >= params_.lockSpinThreshold) {
         acct_.gtLockSpin(th.tid, now - th.spinStart);
@@ -436,7 +425,7 @@ System::spinLockCheck(Core &core, Thread &th, Cycles now)
         blockThread(core, th, BlockReason::kLock, now);
         return;
     }
-    core.nextEventAt = now + params_.spinCheckCycles;
+    setCoreNext(core, now + params_.spinCheckCycles);
 }
 
 void
@@ -458,12 +447,12 @@ System::spinBarrierCheck(Core &core, Thread &th, Cycles now)
         acct_.gtBarrierSpin(th.tid, now - th.spinStart);
         th.state = ThreadState::kRunning;
         th.hasPending = false; // barrier op completed
-        core.nextEventAt = now + 1;
+        setCoreNext(core, now + 1);
         return;
     }
 
     const bool oversubscribed =
-        nthreads_ > params_.ncores && !readyQueue_.empty();
+        nthreads_ > params_.ncores && sched_->hasReady();
     if (oversubscribed ||
         now - th.spinStart >= params_.barrierSpinThreshold) {
         acct_.gtBarrierSpin(th.tid, now - th.spinStart);
@@ -472,7 +461,7 @@ System::spinBarrierCheck(Core &core, Thread &th, Cycles now)
         blockThread(core, th, BlockReason::kBarrier, now);
         return;
     }
-    core.nextEventAt = now + params_.spinCheckCycles;
+    setCoreNext(core, now + params_.spinCheckCycles);
 }
 
 void
@@ -490,23 +479,15 @@ void
 System::scheduleNext(Core &core, Cycles now)
 {
     core.thread = kInvalidId;
-    core.nextEventAt = kNever;
-    if (readyQueue_.empty())
-        return;
-
-    // Prefer a ready thread that last ran here (cache affinity, like a
-    // real scheduler); fall back to the queue head.
-    ThreadId next = kInvalidId;
-    for (auto it = readyQueue_.begin(); it != readyQueue_.end(); ++it) {
-        if (threads_[static_cast<std::size_t>(*it)].lastCore == core.id) {
-            next = *it;
-            readyQueue_.erase(it);
-            break;
-        }
-    }
+    sched_->onCoreIdle(core.id);
+    // Re-key the core's heap entry once: straight to `resume` when a
+    // successor exists, to kNever only when the core actually idles
+    // (pickNext/placeWoken never consult the event queue, so deferring
+    // is safe and halves the sift work per context switch).
+    const ThreadId next = sched_->pickNext(core.id);
     if (next == kInvalidId) {
-        next = readyQueue_.front();
-        readyQueue_.pop_front();
+        setCoreNext(core, kNever);
+        return;
     }
 
     Thread &th = threads_[static_cast<std::size_t>(next)];
@@ -520,13 +501,21 @@ System::scheduleNext(Core &core, Cycles now)
     } else if (th.blockReason == BlockReason::kBarrier) {
         acct_.onYield(next, resume - th.blockStart);
         acct_.gtBarrierYield(next, resume - th.blockStart);
+    } else if (th.blockReason == BlockReason::kPreempt) {
+        // A time-slice preempted thread waited in the ready pool and
+        // pays the context switch on resume; charge that wait as OS
+        // yield time so oversubscribed (Figure 7) stacks account every
+        // cycle instead of silently losing the ready-queue wait.
+        acct_.onYield(next, resume - th.blockStart);
+        acct_.gtPreemptYield(next, resume - th.blockStart);
     }
     th.blockReason = BlockReason::kNone;
     th.state = ThreadState::kRunning;
     th.lastCore = core.id;
     th.sliceStart = resume;
     core.thread = next;
-    core.nextEventAt = resume;
+    sched_->onCoreBusy(core.id);
+    setCoreNext(core, resume);
 }
 
 void
@@ -538,35 +527,28 @@ System::wakeThread(ThreadId tid, Cycles now)
               "wake of a non-blocked thread");
     th.state = ThreadState::kReady;
 
-    const CoreId idle = findIdleCore(th.lastCore);
+    const CoreId idle = sched_->placeWoken(tid, th.lastCore);
     if (idle != kInvalidId) {
         // Fast path: hand the idle core to the woken thread directly.
-        Core &core = cores_[static_cast<std::size_t>(idle)];
-        readyQueue_.push_front(tid);
-        scheduleNext(core, now);
+        sched_->enqueue(ReadyThread{tid, th.lastCore},
+                        /*preferred=*/true);
+        scheduleNext(cores_[static_cast<std::size_t>(idle)], now);
     } else {
-        readyQueue_.push_back(tid);
+        sched_->enqueue(ReadyThread{tid, th.lastCore},
+                        /*preferred=*/false);
     }
 }
 
 void
 System::enqueueWake(ThreadId tid, Cycles now)
 {
-    wakeQueue_.push(WakeEvent{now + params_.wakeCost(), tid});
+    events_.pushWake(now + params_.wakeCost(), tid);
 }
 
-CoreId
-System::findIdleCore(CoreId preferred) const
+void
+System::setCoreNext(Core &core, Cycles at)
 {
-    if (preferred != kInvalidId &&
-        cores_[static_cast<std::size_t>(preferred)].thread == kInvalidId) {
-        return preferred;
-    }
-    for (const auto &c : cores_) {
-        if (c.thread == kInvalidId)
-            return c.id;
-    }
-    return kInvalidId;
+    events_.updateCore(core.id, at);
 }
 
 RunResult

@@ -7,10 +7,16 @@
  *
  * Simulation is event-driven: cores run ahead locally through compute
  * ops and stop at every globally visible action (memory reference, lock,
- * barrier). The event loop always advances the core with the earliest
- * pending action, so shared structures (LLC tags, DRAM bus/banks, locks)
- * observe accesses in global time order, which keeps the
- * computed-at-issue DRAM schedule exact.
+ * barrier). The event engine (EventQueue, one indexed min-heap over core
+ * and wake events) always advances the earliest pending action, so
+ * shared structures (LLC tags, DRAM bus/banks, locks) observe accesses
+ * in global time order, which keeps the computed-at-issue DRAM schedule
+ * exact — at O(log ncores) per event instead of a per-event core scan.
+ *
+ * OS policy decisions (which thread a freed core runs, wake placement,
+ * time slicing) are delegated to the pluggable Scheduler subsystem
+ * (src/sched/, selected by SimParams::schedPolicy); the system keeps the
+ * mechanism: thread states, switch/wake costs, accounting hooks.
  *
  * Synchronization protocol: a failed lock acquire (or non-final barrier
  * arrival) enters a spin loop that polls the lock/barrier word through
@@ -25,14 +31,14 @@
 #define SST_SIM_SYSTEM_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "accounting/accounting_unit.hh"
 #include "cache/hierarchy.hh"
 #include "mem/dram.hh"
+#include "sched/scheduler.hh"
+#include "sim/event_queue.hh"
 #include "sim/params.hh"
 #include "sim/run_result.hh"
 #include "sync/sync_state.hh"
@@ -71,6 +77,11 @@ class System
     System(const SimParams &params, const BenchmarkProfile &profile,
            int nthreads);
 
+    /** The scheduler holds a reference to this system's params; the
+     *  system is therefore neither copyable nor movable. */
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
     /** Run to completion and return all measurements. */
     RunResult run();
 
@@ -83,8 +94,11 @@ class System
     /** Sync state, exposed for tests. */
     const SyncManager &sync() const { return sync_; }
 
+    /** The scheduler policy driving this run (exposed for tests). */
+    const Scheduler &scheduler() const { return *sched_; }
+
   private:
-    static constexpr Cycles kNever = ~Cycles(0);
+    static constexpr Cycles kNever = kNeverCycles;
 
     enum class ThreadState : std::uint8_t {
         kReady,        ///< runnable, waiting for a core
@@ -96,7 +110,12 @@ class System
         kFinished,
     };
 
-    enum class BlockReason : std::uint8_t { kNone, kLock, kBarrier };
+    enum class BlockReason : std::uint8_t {
+        kNone,
+        kLock,
+        kBarrier,
+        kPreempt, ///< time-slice expiry; wait is charged on resume
+    };
 
     struct Thread
     {
@@ -121,17 +140,8 @@ class System
     {
         CoreId id = 0;
         ThreadId thread = kInvalidId;
-        Cycles nextEventAt = kNever;
-    };
-
-    struct WakeEvent
-    {
-        Cycles at;
-        ThreadId tid;
-        bool operator>(const WakeEvent &o) const
-        {
-            return at != o.at ? at > o.at : tid > o.tid;
-        }
+        // The core's next event time lives solely in the event engine
+        // (events_); setCoreNext re-keys it there.
     };
 
     // ---- event processing --------------------------------------------------
@@ -147,18 +157,19 @@ class System
     bool doBarrier(Core &core, Thread &th, const Op &op, Cycles &now);
     void finishThread(Core &core, Thread &th, Cycles now);
 
-    // ---- scheduler -----------------------------------------------------------
+    // ---- scheduling mechanism (policy lives in sched_) ---------------------
     void blockThread(Core &core, Thread &th, BlockReason reason,
                      Cycles now);
     void scheduleNext(Core &core, Cycles now);
     void wakeThread(ThreadId tid, Cycles now);
     void enqueueWake(ThreadId tid, Cycles now);
-    CoreId findIdleCore(CoreId preferred) const;
 
     // ---- helpers ---------------------------------------------------------------
     void chargeInstructions(Thread &th, std::uint32_t count, Cycles &now);
-    bool timeSliceExpired(const Thread &th, Cycles now) const;
     Cycles spinBranchHash(const Thread &th, std::uint64_t value) const;
+
+    /** Re-key @p core's event-engine entry to @p at. */
+    void setCoreNext(Core &core, Cycles at);
 
     SimParams params_;
     int nthreads_;
@@ -171,10 +182,9 @@ class System
 
     std::vector<Thread> threads_;
     std::vector<Core> cores_;
-    std::priority_queue<WakeEvent, std::vector<WakeEvent>,
-                        std::greater<WakeEvent>>
-        wakeQueue_;
-    std::deque<ThreadId> readyQueue_;
+    EventQueue events_;
+    std::unique_ptr<Scheduler> sched_;
+    std::uint64_t engineEvents_ = 0; ///< events dispatched by run()
     int finishedThreads_ = 0;
     Cycles roiStart_ = 0;  ///< cycle at which all measurements (re)start
     int roiPassed_ = 0;

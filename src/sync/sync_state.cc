@@ -125,12 +125,12 @@ ValueTracker::LoadView
 ValueTracker::onLoad(Addr addr, ThreadId tid) const
 {
     LoadView view;
-    auto it = lines_.find(lineNum(addr));
-    if (it == lines_.end())
+    const LineInfo *li = lines_.find(lineNum(addr));
+    if (!li)
         return view;
-    view.value = it->second.version;
+    view.value = li->version;
     view.writtenByOther =
-        it->second.lastWriter != kInvalidId && it->second.lastWriter != tid;
+        li->lastWriter != kInvalidId && li->lastWriter != tid;
     return view;
 }
 

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+
+#include "util/flat_map.hh"
 #include <vector>
 
 #include "util/types.hh"
@@ -130,7 +132,8 @@ class ValueTracker
         std::uint64_t version = 0;
         ThreadId lastWriter = kInvalidId;
     };
-    std::unordered_map<Addr, LineInfo> lines_;
+    /** Keyed by line number; flat map keeps the per-load lookup hot. */
+    FlatMap64<LineInfo> lines_;
 };
 
 } // namespace sst

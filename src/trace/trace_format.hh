@@ -8,6 +8,11 @@
  *              version          u32 LE (kTraceVersion)
  *              nthreads         u32 LE, threads of the parallel run
  *              profileHash      u64 LE, fingerprint of the source profile
+ *              schedPolicy      u32 LE, scheduler policy recorded under
+ *              schedSeed        u64 LE, scheduler RNG stream (random
+ *                               policy); both fields version >= 2 only —
+ *                               v1 files are read as affinity-fifo /
+ *                               seed 0, the only configuration then
  *              label            varint length + UTF-8 bytes (display only)
  *              streams          nthreads + 1 stream blocks
  *
@@ -40,6 +45,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "sched/policy.hh"
 #include "util/types.hh"
 #include "workload/op.hh"
 
@@ -60,8 +66,12 @@ namespace trace {
 /** File magic, exactly 8 bytes. */
 inline constexpr char kMagic[8] = {'S', 'S', 'T', 'T', 'R', 'A', 'C', 'E'};
 
-/** Bump on any incompatible change to the container or op encoding. */
-inline constexpr std::uint32_t kTraceVersion = 1;
+/** Bump on any incompatible change to the container or op encoding.
+ *  v2 added the schedPolicy header field; v1 files remain readable. */
+inline constexpr std::uint32_t kTraceVersion = 2;
+
+/** Oldest container version the reader still accepts. */
+inline constexpr std::uint32_t kMinTraceVersion = 1;
 
 /** Sanity bound on the recorded thread count. */
 inline constexpr std::uint32_t kMaxThreads = 4096;
@@ -75,6 +85,11 @@ struct TraceMeta
     std::uint32_t version = kTraceVersion;
     int nthreads = 0;              ///< threads of the parallel run
     std::uint64_t profileHash = 0; ///< fingerprint of the source profile
+    /** Scheduler policy + RNG stream the run was recorded under;
+     *  replay re-simulates with both so the recorded stacks reproduce
+     *  bit for bit. */
+    SchedPolicy schedPolicy = SchedPolicy::kAffinityFifo;
+    std::uint64_t schedSeed = 0;
     std::string label;             ///< human-readable workload label
 };
 

@@ -53,9 +53,11 @@ TraceReader::parse()
     cur.pos = sizeof(trace::kMagic);
 
     meta_.version = cur.getU32();
-    if (meta_.version != trace::kTraceVersion) {
+    if (meta_.version < trace::kMinTraceVersion ||
+        meta_.version > trace::kTraceVersion) {
         throw TraceError("unsupported trace format version " +
                          std::to_string(meta_.version) + " (expected " +
+                         std::to_string(trace::kMinTraceVersion) + ".." +
                          std::to_string(trace::kTraceVersion) + ")");
     }
     const std::uint32_t nthreads = cur.getU32();
@@ -65,6 +67,19 @@ TraceReader::parse()
     }
     meta_.nthreads = static_cast<int>(nthreads);
     meta_.profileHash = cur.getU64();
+    if (meta_.version >= 2) {
+        try {
+            meta_.schedPolicy = schedPolicyFromRaw(cur.getU32());
+        } catch (const std::invalid_argument &e) {
+            throw TraceError(std::string("malformed trace: ") + e.what());
+        }
+        meta_.schedSeed = cur.getU64();
+    } else {
+        // v1 predates pluggable scheduling; the hard-wired scheduler
+        // was affinity-fifo with no RNG stream.
+        meta_.schedPolicy = SchedPolicy::kAffinityFifo;
+        meta_.schedSeed = 0;
+    }
 
     const std::uint64_t label_len = cur.getVarint();
     if (label_len > cur.remaining())
@@ -146,8 +161,9 @@ TraceReader::baselineSource() const
 }
 
 void
-TraceReader::requireCompatible(std::uint64_t profile_hash,
-                               int nthreads) const
+TraceReader::requireCompatible(std::uint64_t profile_hash, int nthreads,
+                               SchedPolicy policy,
+                               std::uint64_t sched_seed) const
 {
     if (nthreads != meta_.nthreads) {
         throw TraceError(
@@ -160,6 +176,30 @@ TraceReader::requireCompatible(std::uint64_t profile_hash,
             "trace profile mismatch: trace '" + meta_.label +
             "' was recorded from a different profile "
             "(stale trace? re-record it)");
+    }
+    requireSchedPolicy(policy);
+    if (meta_.schedPolicy == SchedPolicy::kRandom &&
+        sched_seed != meta_.schedSeed) {
+        // Deterministic policies ignore the seed, so only random
+        // recordings are seed-specific.
+        throw TraceError(
+            "trace scheduler-seed mismatch: trace '" + meta_.label +
+            "' was recorded with --sched-seed " +
+            std::to_string(meta_.schedSeed) + ", replay requested " +
+            std::to_string(sched_seed) + " (re-record the trace)");
+    }
+}
+
+void
+TraceReader::requireSchedPolicy(SchedPolicy policy) const
+{
+    if (policy != meta_.schedPolicy) {
+        throw TraceError(
+            std::string("trace scheduler-policy mismatch: trace '") +
+            meta_.label + "' was recorded under --sched " +
+            schedPolicyLabel(meta_.schedPolicy) +
+            ", replay requested --sched " + schedPolicyLabel(policy) +
+            " (re-record the trace or drop the flag)");
     }
 }
 

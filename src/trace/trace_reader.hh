@@ -49,10 +49,20 @@ class TraceReader
 
     /**
      * Validate that this trace can stand in for a live run of
-     * @p nthreads threads of the profile hashed as @p profile_hash.
-     * Throws TraceError naming the mismatched axis.
+     * @p nthreads threads of the profile hashed as @p profile_hash
+     * under scheduler @p policy with RNG stream @p sched_seed. Throws
+     * TraceError naming the mismatched axis.
      */
-    void requireCompatible(std::uint64_t profile_hash, int nthreads) const;
+    void requireCompatible(std::uint64_t profile_hash, int nthreads,
+                           SchedPolicy policy,
+                           std::uint64_t sched_seed) const;
+
+    /**
+     * Validate only the scheduler-policy axis (the trace CLI's
+     * `replay --sched` check, where profile/thread identity comes from
+     * the file itself). Throws TraceError on mismatch.
+     */
+    void requireSchedPolicy(SchedPolicy policy) const;
 
   private:
     struct StreamIndex

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "cache/hierarchy.hh"
 #include "driver/fingerprint.hh"
 #include "sim/system.hh"
 #include "workload/thread_program.hh"
@@ -18,7 +19,8 @@ traceProfileHash(const BenchmarkProfile &profile)
 
 std::string
 tracePathFor(const std::string &dir, const BenchmarkProfile &profile,
-             int nthreads, std::uint64_t seed_offset)
+             int nthreads, std::uint64_t seed_offset, SchedPolicy policy,
+             std::uint64_t sched_seed)
 {
     std::string path = dir;
     if (!path.empty() && path.back() != '/')
@@ -29,6 +31,16 @@ tracePathFor(const std::string &dir, const BenchmarkProfile &profile,
     if (seed_offset != 0) {
         path += "_s";
         path += std::to_string(seed_offset);
+    }
+    if (policy != SchedPolicy::kAffinityFifo) {
+        path += '_';
+        path += schedPolicyLabel(policy);
+        // The RNG stream only shapes random schedules; deterministic
+        // policies share one recording regardless of the seed field.
+        if (canonicalSchedSeed(policy, sched_seed) != 0) {
+            path += "_ss";
+            path += std::to_string(sched_seed);
+        }
     }
     path += trace::kFileSuffix;
     return path;
@@ -59,6 +71,11 @@ recordSpeedupTrace(const SimParams &params,
     trace::TraceMeta meta;
     meta.nthreads = nthreads;
     meta.profileHash = traceProfileHash(profile);
+    meta.schedPolicy = params.schedPolicy;
+    // Only random schedules depend on the RNG stream; canonicalize so
+    // equal-outcome recordings compare equal.
+    meta.schedSeed =
+        canonicalSchedSeed(params.schedPolicy, params.schedSeed);
     meta.label = profile.label();
     TraceWriter writer(std::move(meta));
 
@@ -96,6 +113,16 @@ recordSpeedupTrace(const SimParams &params,
 RunResult
 replayParallel(const SimParams &params, const TraceReader &reader)
 {
+    // The container format allows up to trace::kMaxThreads streams, but
+    // the simulator pins ncores to nthreads and caps the machine size:
+    // fail with a clean TraceError instead of the constructor's panic.
+    if (reader.meta().nthreads > kMaxSimCores) {
+        throw TraceError(
+            "trace '" + reader.meta().label + "' has " +
+            std::to_string(reader.meta().nthreads) +
+            " threads, exceeding the " + std::to_string(kMaxSimCores) +
+            "-core simulator limit");
+    }
     return simulateSources(
         params,
         [&reader](ThreadId tid, int) { return reader.parallelSource(tid); },
@@ -114,9 +141,22 @@ SpeedupExperiment
 replaySpeedupTrace(const SimParams &params, const std::string &path)
 {
     const TraceReader reader(path);
+    return replaySpeedupTrace(params, reader);
+}
+
+SpeedupExperiment
+replaySpeedupTrace(const SimParams &params, const TraceReader &reader)
+{
+    // Re-simulate under the recorded scheduler policy and RNG stream:
+    // the recorded stacks only reproduce bit for bit under the schedule
+    // they were captured with. Callers that demand a specific policy
+    // check the header first (requireCompatible / trace's --sched).
+    SimParams p = params;
+    p.schedPolicy = reader.meta().schedPolicy;
+    p.schedSeed = reader.meta().schedSeed;
     return assembleExperiment(reader.meta().label, reader.meta().nthreads,
-                              params, replayBaseline(params, reader),
-                              replayParallel(params, reader));
+                              p, replayBaseline(p, reader),
+                              replayParallel(p, reader));
 }
 
 } // namespace sst

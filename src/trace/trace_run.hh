@@ -31,13 +31,18 @@ std::uint64_t traceProfileHash(const BenchmarkProfile &profile);
 /**
  * Canonical path of @p profile's @p nthreads-thread trace in @p dir.
  * A nonzero replication stream (@p seed_offset, see JobSpec) gets its
- * own `_sK` suffix so per-seed recordings coexist and a sweep at a
- * different offset falls back to live generation instead of tripping
- * over the wrong recording.
+ * own `_sK` suffix, a non-default scheduler policy a `_<policy>`
+ * suffix, and a random-policy RNG stream a further `_ssK` suffix — so
+ * recordings of different configurations coexist instead of silently
+ * overwriting each other, and a sweep at a different configuration
+ * falls back to live generation instead of tripping over the wrong
+ * recording. Default-configuration names are unchanged.
  */
 std::string tracePathFor(const std::string &dir,
                          const BenchmarkProfile &profile, int nthreads,
-                         std::uint64_t seed_offset = 0);
+                         std::uint64_t seed_offset = 0,
+                         SchedPolicy policy = SchedPolicy::kAffinityFifo,
+                         std::uint64_t sched_seed = 0);
 
 /**
  * Run the full speedup experiment (1-thread baseline + @p nthreads-run)
@@ -65,12 +70,18 @@ RunResult replayBaseline(const SimParams &params,
 
 /**
  * Re-simulate both recorded runs of the trace at @p path and assemble
- * the speedup experiment. Bit-identical to the experiment measured at
- * record time when @p params matches; no workload generation happens on
- * this path.
+ * the speedup experiment. The scheduler policy recorded in the trace
+ * header overrides @p params.schedPolicy (recorded stacks only
+ * reproduce under the schedule they were captured with). Bit-identical
+ * to the experiment measured at record time when @p params matches; no
+ * workload generation happens on this path.
  */
 SpeedupExperiment replaySpeedupTrace(const SimParams &params,
                                      const std::string &path);
+
+/** As above, over an already-opened reader (saves a re-parse). */
+SpeedupExperiment replaySpeedupTrace(const SimParams &params,
+                                     const TraceReader &reader);
 
 } // namespace sst
 

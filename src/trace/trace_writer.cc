@@ -45,6 +45,8 @@ TraceWriter::serialize() const
     trace::putU32(out, meta_.version);
     trace::putU32(out, static_cast<std::uint32_t>(meta_.nthreads));
     trace::putU64(out, meta_.profileHash);
+    trace::putU32(out, static_cast<std::uint32_t>(meta_.schedPolicy));
+    trace::putU64(out, meta_.schedSeed);
     trace::putVarint(out, meta_.label.size());
     out += meta_.label;
     for (const trace::OpEncoder &enc : streams_) {

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Small bit-math helpers shared across the toolkit (cache geometry,
+ * DRAM address decomposition, hardware cost accounting). Centralized so
+ * the same definitions are not re-rolled per translation unit.
+ */
+
+#ifndef SST_UTIL_BITS_HH
+#define SST_UTIL_BITS_HH
+
+#include <cstdint>
+
+namespace sst {
+
+/** True when @p v is a (nonzero) power of two. */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Ceiling log2: smallest n with 2^n >= v (log2i(0) == log2i(1) == 0). */
+constexpr int
+log2i(std::uint64_t v)
+{
+    int n = 0;
+    while ((std::uint64_t(1) << n) < v)
+        ++n;
+    return n;
+}
+
+} // namespace sst
+
+#endif // SST_UTIL_BITS_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Open-addressing hash map for hot simulator state (u64 key -> small
+ * POD value). std::unordered_map's node allocation and pointer chasing
+ * showed up as a top profile entry in the per-load ValueTracker lookup;
+ * this linear-probe table keeps key/value pairs in one contiguous
+ * array, so the common hit costs one or two probes in the same cache
+ * line region. Semantics match a map exactly (find/insert by key), so
+ * swapping it in cannot change simulation results. No erase — the
+ * simulator only accretes state within a run.
+ */
+
+#ifndef SST_UTIL_FLAT_MAP_HH
+#define SST_UTIL_FLAT_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sst {
+
+/**
+ * Linear-probe hash map, u64 keys, value type @p V (default
+ * constructed on first access). One key is reserved as the empty
+ * marker: kEmptyKey must never be inserted (the simulator's keys are
+ * line numbers and ids, far below 2^64 - 1).
+ */
+template <typename V>
+class FlatMap64
+{
+  public:
+    static constexpr std::uint64_t kEmptyKey = ~std::uint64_t(0);
+
+    FlatMap64() { rehash(kInitialSlots); }
+
+    /** Value for @p key, default-constructing on first access. */
+    V &
+    operator[](std::uint64_t key)
+    {
+        if ((size_ + 1) * 10 >= slots_.size() * 7)
+            rehash(slots_.size() * 2);
+        Slot &s = probe(slots_, key);
+        if (s.key == kEmptyKey) {
+            s.key = key;
+            s.value = V{};
+            ++size_;
+        }
+        return s.value;
+    }
+
+    /** Pointer to @p key's value, nullptr when absent. */
+    const V *
+    find(std::uint64_t key) const
+    {
+        const Slot &s = probe(slots_, key);
+        return s.key == kEmptyKey ? nullptr : &s.value;
+    }
+
+    std::size_t size() const { return size_; }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = kEmptyKey;
+        V value{};
+    };
+
+    static constexpr std::size_t kInitialSlots = 1024;
+
+    /** SplitMix64 finalizer: full avalanche, so line numbers that share
+     *  low bits spread over the table. */
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return x;
+    }
+
+    template <typename Slots>
+    static auto &
+    probe(Slots &slots, std::uint64_t key)
+    {
+        const std::size_t mask = slots.size() - 1;
+        std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
+        while (slots[i].key != key && slots[i].key != kEmptyKey)
+            i = (i + 1) & mask;
+        return slots[i];
+    }
+
+    void
+    rehash(std::size_t new_slots)
+    {
+        std::vector<Slot> next(new_slots);
+        for (const Slot &s : slots_) {
+            if (s.key != kEmptyKey)
+                probe(next, s.key) = s;
+        }
+        slots_.swap(next);
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+};
+
+} // namespace sst
+
+#endif // SST_UTIL_FLAT_MAP_HH

@@ -223,6 +223,36 @@ TEST(TraceFormat, TrailingGarbageThrows)
     EXPECT_THROW(TraceReader::fromBytes(std::move(bytes)), TraceError);
 }
 
+TEST(TraceFormat, Version1HeaderStillReadable)
+{
+    // v1 predates the scheduler fields: header is magic, version,
+    // nthreads, profileHash, label, streams. The reader must default
+    // the missing fields (affinity-fifo, seed 0) — this is the branch
+    // keeping every pre-v2 .sstt recording usable.
+    std::string out;
+    out.append(trace::kMagic, sizeof(trace::kMagic));
+    trace::putU32(out, 1); // version 1: no sched fields follow the hash
+    trace::putU32(out, 1); // nthreads
+    trace::putU64(out, 0xfeedULL);
+    trace::putVarint(out, 0); // empty label
+    for (int stream = 0; stream < 2; ++stream) {
+        OpEncoder enc;
+        enc.encode(Op::compute(1));
+        enc.encode(Op::end());
+        trace::putVarint(out, enc.opCount);
+        trace::putVarint(out, enc.bytes.size());
+        out += enc.bytes;
+    }
+
+    const TraceReader reader = TraceReader::fromBytes(std::move(out));
+    EXPECT_EQ(reader.meta().version, 1u);
+    EXPECT_EQ(reader.meta().nthreads, 1);
+    EXPECT_EQ(reader.meta().schedPolicy, SchedPolicy::kAffinityFifo);
+    EXPECT_EQ(reader.meta().schedSeed, 0u);
+    EXPECT_NO_THROW(reader.requireCompatible(
+        0xfeedULL, 1, SchedPolicy::kAffinityFifo, 0));
+}
+
 TEST(TraceFormat, MissingEndMarkerThrows)
 {
     // Hand-build a container whose stream claims 1 op that is not kEnd.
@@ -230,7 +260,9 @@ TEST(TraceFormat, MissingEndMarkerThrows)
     out.append(trace::kMagic, sizeof(trace::kMagic));
     trace::putU32(out, trace::kTraceVersion);
     trace::putU32(out, 1); // nthreads
-    trace::putU64(out, 0);
+    trace::putU64(out, 0); // profile hash
+    trace::putU32(out, 0); // sched policy (affinity-fifo)
+    trace::putU64(out, 0); // sched seed
     trace::putVarint(out, 0); // empty label
     for (int stream = 0; stream < 2; ++stream) {
         OpEncoder enc;
@@ -245,18 +277,32 @@ TEST(TraceFormat, MissingEndMarkerThrows)
 TEST(TraceFormat, CompatibilityChecks)
 {
     const TraceReader reader = TraceReader::fromBytes(tinyTraceBytes());
-    EXPECT_NO_THROW(reader.requireCompatible(0xfeedULL, 2));
+    EXPECT_NO_THROW(reader.requireCompatible(
+        0xfeedULL, 2, SchedPolicy::kAffinityFifo, 0));
 
     // Thread-count mismatch names both counts.
     try {
-        reader.requireCompatible(0xfeedULL, 4);
+        reader.requireCompatible(0xfeedULL, 4,
+                                 SchedPolicy::kAffinityFifo, 0);
         FAIL() << "expected TraceError";
     } catch (const TraceError &e) {
         EXPECT_NE(std::string(e.what()).find("thread-count"),
                   std::string::npos);
     }
     // Profile mismatch (stale trace).
-    EXPECT_THROW(reader.requireCompatible(0xbeefULL, 2), TraceError);
+    EXPECT_THROW(reader.requireCompatible(0xbeefULL, 2,
+                                          SchedPolicy::kAffinityFifo, 0),
+                 TraceError);
+    // Scheduler-policy mismatch names both policies.
+    try {
+        reader.requireCompatible(0xfeedULL, 2, SchedPolicy::kRandom, 0);
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find("scheduler-policy"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("random"),
+                  std::string::npos);
+    }
     // Replay thread id outside the recorded range.
     EXPECT_THROW(reader.parallelSource(2), TraceError);
     EXPECT_THROW(reader.parallelSource(-1), TraceError);

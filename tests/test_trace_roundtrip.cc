@@ -53,6 +53,7 @@ expectSameCounters(const ThreadCounters &a, const ThreadCounters &b)
     EXPECT_EQ(a.gtBarrierSpin, b.gtBarrierSpin);
     EXPECT_EQ(a.gtLockYield, b.gtLockYield);
     EXPECT_EQ(a.gtBarrierYield, b.gtBarrierYield);
+    EXPECT_EQ(a.gtPreemptYield, b.gtPreemptYield);
     EXPECT_EQ(a.gtMemWaitOther, b.gtMemWaitOther);
     EXPECT_EQ(a.finishTime, b.finishTime);
 }
