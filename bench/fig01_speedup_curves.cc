@@ -9,13 +9,13 @@
  * it across all of that benchmark's thread counts (the 1-thread row is
  * by definition 1.00 and is not re-simulated).
  *
- * Usage: fig01_speedup_curves [jobs]
+ * Usage: fig01_speedup_curves [jobs] [--sched POLICY] [--jobs N]
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
+#include "cli_common.hh"
 #include "driver/sweep.hh"
 #include "util/format.hh"
 #include "workload/profile.hh"
@@ -23,6 +23,8 @@
 int
 main(int argc, char **argv)
 {
+    const sst::cli::BenchOptions o = sst::cli::parseBenchArgs(
+        argc, argv, "fig01_speedup_curves [jobs]");
     const std::vector<std::string> benchmarks = {
         "blackscholes_medium", "facesim_medium", "cholesky"};
     const std::vector<int> threads = {2, 4, 8, 16};
@@ -32,9 +34,12 @@ main(int argc, char **argv)
     sst::SweepGrid grid;
     grid.profiles = benchmarks;
     grid.threads = threads;
+    grid.baseParams = o.params;
+    grid.seedOffset = o.seedOffset;
 
     sst::DriverOptions opts;
-    opts.jobs = argc > 1 ? std::atoi(argv[1]) : 0; // 0 = hardware
+    opts.jobs = o.positionals.empty() ? o.jobs
+                                      : static_cast<int>(o.positionals[0]);
 
     const std::vector<sst::JobSpec> specs = sst::expandGrid(grid);
     sst::BatchStats stats;

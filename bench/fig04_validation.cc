@@ -9,14 +9,14 @@
  * 1-thread baseline of each benchmark is computed once and shared by
  * all four of its thread counts.
  *
- * Usage: fig04_validation [jobs]
+ * Usage: fig04_validation [jobs] [--sched POLICY] [--jobs N]
  */
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
+#include "cli_common.hh"
 #include "driver/sweep.hh"
 #include "util/format.hh"
 #include "util/stats.hh"
@@ -25,6 +25,8 @@
 int
 main(int argc, char **argv)
 {
+    const sst::cli::BenchOptions o =
+        sst::cli::parseBenchArgs(argc, argv, "fig04_validation [jobs]");
     const std::vector<int> threads = {2, 4, 8, 16};
 
     std::printf("Figure 4: actual vs estimated speedup "
@@ -33,9 +35,12 @@ main(int argc, char **argv)
     sst::SweepGrid grid;
     grid.profiles = sst::allProfileLabels();
     grid.threads = threads;
+    grid.baseParams = o.params;
+    grid.seedOffset = o.seedOffset;
 
     sst::DriverOptions opts;
-    opts.jobs = argc > 1 ? std::atoi(argv[1]) : 0; // 0 = hardware
+    opts.jobs = o.positionals.empty() ? o.jobs
+                                      : static_cast<int>(o.positionals[0]);
 
     const std::vector<sst::JobSpec> specs = sst::expandGrid(grid);
     const std::vector<sst::JobResult> results =

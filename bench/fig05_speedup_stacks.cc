@@ -8,13 +8,16 @@
 #include <cstdio>
 #include <vector>
 
+#include "cli_common.hh"
 #include "core/experiment.hh"
 #include "core/render.hh"
 #include "workload/profile.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const sst::cli::BenchOptions o =
+        sst::cli::parseBenchArgs(argc, argv, "fig05_speedup_stacks", false);
     const std::vector<std::string> benchmarks = {
         "blackscholes_medium", "facesim_medium", "cholesky"};
     const std::vector<int> threads = {2, 4, 8, 16};
@@ -24,14 +27,13 @@ main()
 
     for (const auto &label : benchmarks) {
         const sst::BenchmarkProfile &profile = sst::profileByLabel(label);
-        sst::SimParams base;
         const sst::RunResult baseline =
-            sst::runSingleThreaded(base, profile);
+            sst::runSingleThreaded(o.params, profile);
 
         std::vector<sst::SpeedupStack> stacks;
         std::vector<std::string> labels;
         for (const int n : threads) {
-            sst::SimParams params;
+            sst::SimParams params = o.params;
             params.ncores = n;
             const sst::SpeedupExperiment exp =
                 sst::runWithBaseline(params, profile, n, baseline);

@@ -8,12 +8,12 @@
  *
  * The 28 experiments execute on the parallel experiment driver.
  *
- * Usage: fig06_classification [jobs]
+ * Usage: fig06_classification [jobs] [--sched POLICY] [--jobs N]
  */
 
 #include <cstdio>
-#include <cstdlib>
 
+#include "cli_common.hh"
 #include "core/classify.hh"
 #include "driver/sweep.hh"
 #include "util/format.hh"
@@ -22,14 +22,19 @@
 int
 main(int argc, char **argv)
 {
+    const sst::cli::BenchOptions o = sst::cli::parseBenchArgs(
+        argc, argv, "fig06_classification [jobs]");
     std::printf("Figure 6: classification tree at 16 threads\n\n");
 
     sst::SweepGrid grid;
     grid.profiles = sst::allProfileLabels();
     grid.threads = {16};
+    grid.baseParams = o.params;
+    grid.seedOffset = o.seedOffset;
 
     sst::DriverOptions opts;
-    opts.jobs = argc > 1 ? std::atoi(argv[1]) : 0; // 0 = hardware
+    opts.jobs = o.positionals.empty() ? o.jobs
+                                      : static_cast<int>(o.positionals[0]);
 
     const std::vector<sst::JobSpec> specs = sst::expandGrid(grid);
     const std::vector<sst::JobResult> results =

@@ -6,47 +6,70 @@
  * observes that spawning more software threads than cores improves
  * performance, that 16-thread performance saturates around 8 cores, and
  * that 16 cores perform slightly worse due to scheduler overhead.
+ *
+ * Both curves execute as one batch on the parallel experiment driver —
+ * curve (a) is a thread sweep, curve (b) the `cores` oversubscription
+ * axis (the same grid `examples/specs/fig07.spec` describes) — and the
+ * 1-thread baseline is computed once and shared by all eight jobs.
+ *
+ * Usage: fig07_ferret_cores [jobs] [--sched POLICY] [--jobs N]
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "core/experiment.hh"
+#include "cli_common.hh"
+#include "driver/sweep.hh"
 #include "util/format.hh"
 #include "workload/profile.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const sst::BenchmarkProfile &profile =
-        sst::profileByLabel("ferret_small");
+    const sst::cli::BenchOptions o =
+        sst::cli::parseBenchArgs(argc, argv, "fig07_ferret_cores [jobs]");
     const std::vector<int> cores = {2, 4, 8, 16};
 
     std::printf("Figure 7: ferret speedup vs number of cores\n\n");
 
-    sst::SimParams base;
-    const sst::RunResult baseline = sst::runSingleThreaded(base, profile);
-    const double ts = static_cast<double>(baseline.executionTime);
+    // (a) threads == cores.
+    sst::SweepGrid equal;
+    equal.profiles = {"ferret_small"};
+    equal.threads = cores;
+    equal.baseParams = o.params;
+    equal.seedOffset = o.seedOffset;
+
+    // (b) 16 threads time-shared over 2/4/8/16 cores.
+    sst::SweepGrid over = equal;
+    over.threads = {16};
+    over.cores = cores;
+
+    std::vector<sst::JobSpec> specs = sst::expandGrid(equal);
+    const std::vector<sst::JobSpec> overspecs = sst::expandGrid(over);
+    specs.insert(specs.end(), overspecs.begin(), overspecs.end());
+
+    sst::DriverOptions opts;
+    opts.jobs = o.positionals.empty() ? o.jobs
+                                      : static_cast<int>(o.positionals[0]);
+
+    sst::BatchStats stats;
+    const std::vector<sst::JobResult> results =
+        sst::runExperimentBatch(specs, opts, &stats);
 
     sst::TextTable table;
     table.setHeader({"cores", "#threads = #cores", "16 threads"});
-    for (const int c : cores) {
-        // (a) threads == cores
-        sst::SimParams pa;
-        pa.ncores = c;
-        const sst::RunResult equal = sst::simulate(pa, profile, c, c);
-        // (b) 16 threads on c cores
-        sst::SimParams pb;
-        pb.ncores = c;
-        const sst::RunResult over = sst::simulate(pb, profile, 16, c);
-        table.addRow({std::to_string(c),
-                      sst::fmtDouble(
-                          ts / static_cast<double>(equal.executionTime),
-                          2),
-                      sst::fmtDouble(
-                          ts / static_cast<double>(over.executionTime),
-                          2)});
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        const sst::JobResult &eq = results[i];
+        const sst::JobResult &ov = results[cores.size() + i];
+        table.addRow(
+            {std::to_string(cores[i]),
+             eq.ok() ? sst::fmtDouble(eq.exp.actualSpeedup, 2)
+                     : std::string("fail"),
+             ov.ok() ? sst::fmtDouble(ov.exp.actualSpeedup, 2)
+                     : std::string("fail")});
     }
     std::printf("%s\n", table.render().c_str());
+    std::printf("(%zu jobs, %zu shared baselines)\n", stats.total,
+                stats.baselinesComputed);
     return 0;
 }

@@ -11,13 +11,16 @@
 #include <cstdio>
 #include <vector>
 
+#include "cli_common.hh"
 #include "core/experiment.hh"
 #include "util/format.hh"
 #include "workload/profile.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const sst::cli::BenchOptions o =
+        sst::cli::parseBenchArgs(argc, argv, "fig08_llc_interference", false);
     const std::vector<std::string> benchmarks = {
         "cholesky", "lu.cont", "canneal_small", "canneal_medium",
         "bfs",      "lu.ncont", "needle"};
@@ -30,7 +33,7 @@ main()
                      "pos cache interference", "net interference"});
     for (const auto &label : benchmarks) {
         const sst::BenchmarkProfile &profile = sst::profileByLabel(label);
-        sst::SimParams params;
+        sst::SimParams params = o.params;
         params.ncores = 16;
         const sst::SpeedupExperiment exp =
             sst::runSpeedupExperiment(params, profile, 16);

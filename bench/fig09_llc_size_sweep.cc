@@ -10,13 +10,13 @@
  * The four LLC configurations execute concurrently on the parallel
  * experiment driver.
  *
- * Usage: fig09_llc_size_sweep [jobs]
+ * Usage: fig09_llc_size_sweep [jobs] [--sched POLICY] [--jobs N]
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
+#include "cli_common.hh"
 #include "driver/sweep.hh"
 #include "util/format.hh"
 #include "workload/profile.hh"
@@ -24,6 +24,8 @@
 int
 main(int argc, char **argv)
 {
+    const sst::cli::BenchOptions o = sst::cli::parseBenchArgs(
+        argc, argv, "fig09_llc_size_sweep [jobs]");
     std::printf("Figure 9: cholesky LLC interference vs LLC size "
                 "(16 cores)\n\n");
 
@@ -31,9 +33,12 @@ main(int argc, char **argv)
     grid.profiles = {"cholesky"};
     grid.threads = {16};
     grid.llcBytes = sst::parseSizeList("2M,4M,8M,16M");
+    grid.baseParams = o.params;
+    grid.seedOffset = o.seedOffset;
 
     sst::DriverOptions opts;
-    opts.jobs = argc > 1 ? std::atoi(argv[1]) : 0; // 0 = hardware
+    opts.jobs = o.positionals.empty() ? o.jobs
+                                      : static_cast<int>(o.positionals[0]);
 
     const std::vector<sst::JobSpec> specs = sst::expandGrid(grid);
     const std::vector<sst::JobResult> results =

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The unified `sst` CLI: one binary for every experiment workflow.
+ *
+ *   sst run --spec examples/specs/fig01.spec   declarative experiments
+ *   sst sweep --profiles all --threads 16      flag-driven grids
+ *   sst trace record|replay|info               op-trace workflows
+ *   sst list profiles|scheds|frontends         enumerate the registries
+ *
+ * `sweep` and `trace` also exist as standalone compatibility binaries;
+ * all three share one implementation per command (bench/cli_commands.cc)
+ * so behaviour cannot drift between entry points.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "cli_commands.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: sst <command> [options]\n"
+        "  run    execute a declarative experiment spec file\n"
+        "  sweep  express an experiment grid with flags\n"
+        "  trace  record / replay / inspect binary op traces\n"
+        "  list   enumerate registered profiles, scheds, frontends\n"
+        "`sst <command> --help` shows the command's options\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "run")
+        return sst::cli::runMain(argc, argv, 2);
+    if (cmd == "sweep")
+        return sst::cli::sweepMain(argc, argv, 2);
+    if (cmd == "trace")
+        return sst::cli::traceMain(argc, argv, 2);
+    if (cmd == "list")
+        return sst::cli::listMain(argc, argv, 2);
+    if (cmd == "--help" || cmd == "-h") {
+        usage();
+        return 0;
+    }
+    usage();
+    std::fprintf(stderr, "fatal: unknown command '%s'\n", cmd.c_str());
+    return 1;
+}

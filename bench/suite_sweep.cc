@@ -9,13 +9,13 @@
  * to the old serial loop for any worker count (jobs are pure functions
  * of their specs).
  *
- * Usage: suite_sweep [nthreads] [jobs]
+ * Usage: suite_sweep [nthreads] [jobs] [--sched POLICY]
  */
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
+#include "cli_common.hh"
 #include "core/classify.hh"
 #include "driver/sweep.hh"
 #include "util/format.hh"
@@ -24,15 +24,21 @@
 int
 main(int argc, char **argv)
 {
-    const int nthreads = argc > 1 ? std::atoi(argv[1]) : 16;
-    const int jobs = argc > 2 ? std::atoi(argv[2]) : 0; // 0 = hardware
+    const sst::cli::BenchOptions o = sst::cli::parseBenchArgs(
+        argc, argv, "suite_sweep [nthreads] [jobs]");
+    const int nthreads =
+        o.positionals.empty() ? 16 : static_cast<int>(o.positionals[0]);
 
     sst::SweepGrid grid;
     grid.profiles = sst::allProfileLabels();
     grid.threads = {nthreads};
+    grid.baseParams = o.params;
+    grid.seedOffset = o.seedOffset;
 
     sst::DriverOptions opts;
-    opts.jobs = jobs;
+    opts.jobs = o.positionals.size() > 1
+                    ? static_cast<int>(o.positionals[1])
+                    : o.jobs;
 
     const std::vector<sst::JobSpec> specs = sst::expandGrid(grid);
     const std::vector<sst::JobResult> results =

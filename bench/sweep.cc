@@ -1,8 +1,8 @@
 /**
  * @file
- * The `sweep` CLI: express experiment grids (profiles x thread counts x
- * LLC sizes) on the command line and execute them on the parallel
- * driver with on-disk result memoization.
+ * The `sweep` CLI: a thin compatibility shell over `sst sweep` (the
+ * implementation lives in bench/cli_commands.cc and is shared with the
+ * unified `sst` binary, so flags and output cannot drift).
  *
  *   sweep --profiles all --threads 2,4,8,16 --llc 1M,2M,4M,8M \
  *         --jobs 8 --csv out.csv
@@ -13,211 +13,10 @@
  * table matches the serial `suite_sweep` bit for bit.
  */
 
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <string>
-#include <vector>
-
-#include "cli_common.hh"
-#include "core/classify.hh"
-#include "sched/policy.hh"
-#include "driver/sweep.hh"
-#include "util/format.hh"
-#include "util/logging.hh"
-#include "util/stats.hh"
-#include "workload/profile.hh"
-
-namespace {
-
-using sst::cli::argValue;
-
-void
-usage()
-{
-    std::printf(
-        "usage: sweep [options]\n"
-        "  --profiles all|A,B,...  benchmark labels (default: all)\n"
-        "  --threads LIST          thread counts, e.g. 2,4,8,16 "
-        "(default: 16)\n"
-        "  --llc LIST              LLC sizes, e.g. 1M,2M,4M,8M "
-        "(default: params default)\n"
-        "  --jobs N                worker threads (default: hardware)\n"
-        "  --seed-offset K         replication RNG stream (default: 0)\n"
-        "  --cache-dir DIR         result cache (default: .sst-cache)\n"
-        "  --no-cache              disable the result cache\n"
-        "  --refresh               re-run and overwrite cached results\n"
-        "  --trace-dir DIR         replay recorded op traces from DIR\n"
-        "                          (see `trace record --trace-dir`)\n"
-        "  --sched POLICY          scheduler policy (default:\n"
-        "                          affinity-fifo)\n"
-        "  --sched-seed K          RNG stream for --sched random\n"
-        "  --csv FILE              write results as CSV\n"
-        "  --json FILE             write results as JSON\n"
-        "  --quiet                 suppress the result table\n"
-        "scheduler policies: %s\n",
-        sst::allSchedPolicyLabelsJoined().c_str());
-}
-
-void
-writeFile(const std::string &path, const std::string &content)
-{
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        sst::fatal("cannot write " + path);
-    out << content;
-    std::printf("wrote %s\n", path.c_str());
-}
-
-} // namespace
+#include "cli_commands.hh"
 
 int
 main(int argc, char **argv)
 {
-    sst::SweepGrid grid;
-    grid.profiles = sst::allProfileLabels();
-
-    sst::DriverOptions opts;
-    opts.jobs = 0; // hardware concurrency
-    opts.cacheDir = ".sst-cache";
-    std::string csvPath, jsonPath;
-    bool quiet = false;
-
-    try {
-        for (int i = 1; i < argc; ++i) {
-            const std::string arg = argv[i];
-            if (arg == "--profiles") {
-                const std::string v = argValue(argc, argv, i);
-                if (v != "all")
-                    grid.profiles = sst::parseLabelList(v);
-            } else if (arg == "--threads") {
-                grid.threads = sst::parseIntList(argValue(argc, argv, i));
-            } else if (arg == "--llc") {
-                grid.llcBytes =
-                    sst::parseSizeList(argValue(argc, argv, i));
-            } else if (arg == "--jobs") {
-                opts.jobs = sst::cli::parseInt(
-                    "--jobs", argValue(argc, argv, i), 0, 1 << 20);
-            } else if (arg == "--seed-offset") {
-                grid.seedOffset = sst::cli::parseU64(
-                    "--seed-offset", argValue(argc, argv, i));
-            } else if (arg == "--cache-dir") {
-                opts.cacheDir = argValue(argc, argv, i);
-            } else if (arg == "--no-cache") {
-                opts.cacheDir.clear();
-            } else if (arg == "--refresh") {
-                opts.refresh = true;
-            } else if (arg == "--trace-dir") {
-                opts.traceDir = argValue(argc, argv, i);
-            } else if (arg == "--sched") {
-                grid.baseParams.schedPolicy =
-                    sst::parseSchedPolicy(argValue(argc, argv, i));
-            } else if (arg == "--sched-seed") {
-                grid.baseParams.schedSeed = sst::cli::parseU64(
-                    "--sched-seed", argValue(argc, argv, i));
-            } else if (arg == "--csv") {
-                csvPath = argValue(argc, argv, i);
-            } else if (arg == "--json") {
-                jsonPath = argValue(argc, argv, i);
-            } else if (arg == "--quiet") {
-                quiet = true;
-            } else if (arg == "--help" || arg == "-h") {
-                usage();
-                return 0;
-            } else {
-                usage();
-                sst::fatal("unknown argument '" + arg + "'");
-            }
-        }
-
-        if (grid.baseParams.schedSeed != 0 &&
-            grid.baseParams.schedPolicy != sst::SchedPolicy::kRandom) {
-            sst::fatal("--sched-seed only affects --sched random; the "
-                       "seed would be silently ignored");
-        }
-
-        const std::vector<sst::JobSpec> jobs = sst::expandGrid(grid);
-        sst::ExperimentDriver driver(opts);
-        const std::vector<sst::JobResult> results = driver.runBatch(jobs);
-        const sst::BatchStats &stats = driver.stats();
-
-        if (!quiet) {
-            const bool showLlc = !grid.llcBytes.empty();
-            sst::TextTable table;
-            std::vector<std::string> header = {"benchmark", "threads"};
-            if (showLlc)
-                header.push_back("llc");
-            for (const char *c : {"paper", "actual", "estimated", "err",
-                                  "1st", "2nd", "3rd", "base", "pos",
-                                  "netneg", "mem", "spin", "yield"})
-                header.push_back(c);
-            table.setHeader(header);
-
-            for (std::size_t i = 0; i < jobs.size(); ++i) {
-                const sst::JobSpec &s = jobs[i];
-                const sst::JobResult &r = results[i];
-                std::vector<std::string> row = {
-                    s.profile.label(), std::to_string(s.nthreads)};
-                if (showLlc)
-                    row.push_back(
-                        sst::fmtBytes(s.params.cache.llcBytes));
-                if (!r.ok()) {
-                    row.push_back("FAILED: " + r.error);
-                    while (row.size() < header.size())
-                        row.push_back("-");
-                    table.addRow(row);
-                    continue;
-                }
-                const sst::SpeedupExperiment &e = r.exp;
-                const auto ranked = sst::rankedDelimiters(e.stack);
-                auto comp = [&](std::size_t k) {
-                    return k < ranked.size()
-                               ? std::string(
-                                     sst::shortComponentName(ranked[k]))
-                               : std::string("-");
-                };
-                row.push_back(
-                    sst::fmtDouble(s.profile.paperSpeedup16, 2));
-                row.push_back(sst::fmtDouble(e.actualSpeedup, 2));
-                row.push_back(sst::fmtDouble(e.estimatedSpeedup, 2));
-                row.push_back(sst::fmtPercent(e.error, 1));
-                row.push_back(comp(0));
-                row.push_back(comp(1));
-                row.push_back(comp(2));
-                row.push_back(sst::fmtDouble(e.stack.baseSpeedup, 2));
-                row.push_back(sst::fmtDouble(e.stack.posLlc, 2));
-                row.push_back(sst::fmtDouble(e.stack.netNegLlc(), 2));
-                row.push_back(sst::fmtDouble(e.stack.negMem, 2));
-                row.push_back(sst::fmtDouble(e.stack.spin, 2));
-                row.push_back(sst::fmtDouble(e.stack.yield, 2));
-                table.addRow(row);
-            }
-            std::printf("%s\n", table.render().c_str());
-
-            sst::RunningStat err;
-            for (const sst::JobResult &r : results)
-                if (r.ok())
-                    err.add(std::fabs(r.exp.error));
-            if (err.count() > 0)
-                std::printf("average absolute error: %.1f%%\n",
-                            err.mean() * 100.0);
-        }
-
-        std::printf(
-            "batch: %zu jobs, %zu executed, %zu cached, %zu failed, "
-            "%zu baselines, %zu trace replays, %d workers\n",
-            stats.total, stats.executed, stats.cached, stats.failed,
-            stats.baselinesComputed, stats.traceReplays,
-            driver.workerCount());
-
-        if (!csvPath.empty())
-            writeFile(csvPath, sst::sweepCsv(jobs, results));
-        if (!jsonPath.empty())
-            writeFile(jsonPath, sst::sweepJson(jobs, results));
-
-        return stats.failed == 0 ? 0 : 2;
-    } catch (const std::exception &e) {
-        sst::fatal(e.what());
-    }
+    return sst::cli::sweepMain(argc, argv, 1);
 }

@@ -11,13 +11,16 @@
 #include <cmath>
 #include <cstdio>
 
+#include "cli_common.hh"
 #include "core/experiment.hh"
 #include "util/format.hh"
 #include "workload/profile.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const sst::cli::BenchOptions o =
+        sst::cli::parseBenchArgs(argc, argv, "tab_par_overhead", false);
     std::printf("Section 6: parallelization overhead vs estimation error "
                 "(16 threads)\n\n");
 
@@ -28,7 +31,7 @@ main()
     double sum_xy = 0, sum_x = 0, sum_y = 0, sum_x2 = 0, sum_y2 = 0;
     int n = 0;
     for (const auto &profile : sst::benchmarkSuite()) {
-        sst::SimParams params;
+        sst::SimParams params = o.params;
         params.ncores = 16;
         const sst::SpeedupExperiment exp =
             sst::runSpeedupExperiment(params, profile, 16);

@@ -1,6 +1,8 @@
 /**
  * @file
- * The `trace` CLI: capture, replay and inspect binary op traces.
+ * The `trace` CLI: a thin compatibility shell over `sst trace` (the
+ * implementation lives in bench/cli_commands.cc and is shared with the
+ * unified `sst` binary, so flags and output cannot drift).
  *
  *   trace record --profile cholesky --threads 4 --out chol4.sstt
  *   trace replay --in chol4.sstt
@@ -15,250 +17,10 @@
  * `sweep --trace-dir DIR` finds it.
  */
 
-#include <cinttypes>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <filesystem>
-#include <string>
-
-#include "cache/hierarchy.hh"
-#include "cli_common.hh"
-#include "driver/job.hh"
-#include "sched/policy.hh"
-#include "trace/trace_run.hh"
-#include "util/logging.hh"
-#include "workload/profile.hh"
-
-namespace {
-
-using sst::cli::argValue;
-
-void
-usage()
-{
-    std::printf(
-        "usage: trace <record|replay|info> [options]\n"
-        "  record --profile LABEL [--threads N] (--out FILE | "
-        "--trace-dir DIR)\n"
-        "         [--seed-offset K] [--sched POLICY] [--sched-seed K]\n"
-        "         [--quiet]\n"
-        "      run the live experiment, write the op trace\n"
-        "  replay --in FILE [--sched POLICY] [--quiet]\n"
-        "      re-simulate from the trace (no workload generation);\n"
-        "      --sched must match the recorded policy (it documents\n"
-        "      the expectation, replay always uses the recording's)\n"
-        "  info --in FILE\n"
-        "      print header and per-stream statistics\n"
-        "scheduler policies: %s\n",
-        sst::allSchedPolicyLabelsJoined().c_str());
-}
-
-/**
- * Full-precision experiment dump: every value %.17g/%"PRIu64" so record
- * and replay output can be diffed bit for bit.
- */
-void
-printExperiment(const sst::SpeedupExperiment &e)
-{
-    std::printf("benchmark           %s\n", e.label.c_str());
-    std::printf("threads             %d\n", e.nthreads);
-    std::printf("ts                  %" PRIu64 "\n", e.ts);
-    std::printf("tp                  %" PRIu64 "\n", e.tp);
-    std::printf("actual_speedup      %.17g\n", e.actualSpeedup);
-    std::printf("estimated_speedup   %.17g\n", e.estimatedSpeedup);
-    std::printf("error               %.17g\n", e.error);
-    std::printf("stack.base          %.17g\n", e.stack.baseSpeedup);
-    std::printf("stack.pos_llc       %.17g\n", e.stack.posLlc);
-    std::printf("stack.neg_llc       %.17g\n", e.stack.negLlc);
-    std::printf("stack.neg_mem       %.17g\n", e.stack.negMem);
-    std::printf("stack.spin          %.17g\n", e.stack.spin);
-    std::printf("stack.yield         %.17g\n", e.stack.yield);
-    std::printf("stack.imbalance     %.17g\n", e.stack.imbalance);
-    std::printf("stack.coherency     %.17g\n", e.stack.coherency);
-    std::printf("par_overhead        %.17g\n", e.parOverheadMeasured);
-}
-
-int
-cmdRecord(int argc, char **argv)
-{
-    std::string label, outPath, traceDir;
-    int nthreads = 16;
-    std::uint64_t seedOffset = 0;
-    sst::SimParams params;
-    bool quiet = false;
-
-    for (int i = 2; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--profile") {
-            label = argValue(argc, argv, i);
-        } else if (arg == "--threads") {
-            // The recording runs live on nthreads cores, so the
-            // simulator's core cap bounds this (the format itself
-            // allows up to trace::kMaxThreads streams).
-            nthreads = sst::cli::parseInt(
-                "--threads", argValue(argc, argv, i), 1,
-                static_cast<long>(sst::kMaxSimCores));
-        } else if (arg == "--out") {
-            outPath = argValue(argc, argv, i);
-        } else if (arg == "--trace-dir") {
-            traceDir = argValue(argc, argv, i);
-        } else if (arg == "--seed-offset") {
-            seedOffset = sst::cli::parseU64("--seed-offset",
-                                            argValue(argc, argv, i));
-        } else if (arg == "--sched") {
-            params.schedPolicy =
-                sst::parseSchedPolicy(argValue(argc, argv, i));
-        } else if (arg == "--sched-seed") {
-            params.schedSeed = sst::cli::parseU64(
-                "--sched-seed", argValue(argc, argv, i));
-        } else if (arg == "--quiet") {
-            quiet = true;
-        } else {
-            usage();
-            sst::fatal("unknown record argument '" + arg + "'");
-        }
-    }
-    if (label.empty())
-        sst::fatal("record needs --profile (one of: " +
-                   sst::allProfileLabelsJoined() + ")");
-    if (params.schedSeed != 0 &&
-        params.schedPolicy != sst::SchedPolicy::kRandom) {
-        sst::fatal("--sched-seed only affects --sched random; the "
-                   "seed would be silently ignored");
-    }
-    if (outPath.empty() == traceDir.empty())
-        sst::fatal("record needs exactly one of --out or --trace-dir");
-
-    sst::BenchmarkProfile profile = sst::profileByLabel(label);
-    profile.seed = sst::deriveJobSeed(profile.seed, seedOffset);
-
-    if (!traceDir.empty()) {
-        std::filesystem::create_directories(traceDir);
-        outPath = sst::tracePathFor(traceDir, profile, nthreads,
-                                    seedOffset, params.schedPolicy,
-                                    params.schedSeed);
-    }
-
-    std::uint64_t ops = 0;
-    const sst::SpeedupExperiment exp = sst::recordSpeedupTrace(
-        params, profile, nthreads, outPath, &ops);
-    printExperiment(exp);
-    if (!quiet) {
-        const auto bytes = std::filesystem::file_size(outPath);
-        std::printf("wrote %s: %" PRIu64 " ops in %ju bytes "
-                    "(%.2f bytes/op)\n",
-                    outPath.c_str(), ops,
-                    static_cast<std::uintmax_t>(bytes),
-                    static_cast<double>(bytes) / static_cast<double>(ops));
-    }
-    return 0;
-}
-
-int
-cmdReplay(int argc, char **argv)
-{
-    std::string inPath;
-    bool quiet = false;
-    bool schedGiven = false;
-    sst::SchedPolicy sched = sst::SchedPolicy::kAffinityFifo;
-    for (int i = 2; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--in") {
-            inPath = argValue(argc, argv, i);
-        } else if (arg == "--sched") {
-            sched = sst::parseSchedPolicy(argValue(argc, argv, i));
-            schedGiven = true;
-        } else if (arg == "--quiet") {
-            quiet = true;
-        } else {
-            usage();
-            sst::fatal("unknown replay argument '" + arg + "'");
-        }
-    }
-    if (inPath.empty())
-        sst::fatal("replay needs --in FILE");
-
-    const sst::TraceReader reader(inPath);
-    if (schedGiven)
-        reader.requireSchedPolicy(sched); // TraceError -> fatal in main
-
-    const sst::SpeedupExperiment exp =
-        sst::replaySpeedupTrace(sst::SimParams{}, reader);
-    printExperiment(exp);
-    if (!quiet)
-        std::printf("replayed %s\n", inPath.c_str());
-    return 0;
-}
-
-int
-cmdInfo(int argc, char **argv)
-{
-    std::string inPath;
-    for (int i = 2; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--in") {
-            inPath = argValue(argc, argv, i);
-        } else {
-            usage();
-            sst::fatal("unknown info argument '" + arg + "'");
-        }
-    }
-    if (inPath.empty())
-        sst::fatal("info needs --in FILE");
-
-    const sst::TraceReader reader(inPath);
-    const sst::trace::TraceMeta &meta = reader.meta();
-    std::printf("file                %s\n", inPath.c_str());
-    std::printf("format_version      %u\n", meta.version);
-    std::printf("benchmark           %s\n", meta.label.c_str());
-    std::printf("threads             %d\n", meta.nthreads);
-    std::printf("profile_hash        %016" PRIx64 "\n", meta.profileHash);
-    std::printf("sched_policy        %s\n",
-                sst::schedPolicyLabel(meta.schedPolicy));
-    std::printf("sched_seed          %" PRIu64 "\n", meta.schedSeed);
-    std::uint64_t total_ops = 0, total_bytes = 0;
-    for (int s = 0; s < reader.nstreams(); ++s) {
-        const bool baseline = s == meta.nthreads;
-        std::printf("stream %-3d %s  %12" PRIu64 " ops  %12" PRIu64
-                    " bytes\n",
-                    s, baseline ? "(baseline)" : "          ",
-                    reader.opCount(s), reader.streamBytes(s));
-        total_ops += reader.opCount(s);
-        total_bytes += reader.streamBytes(s);
-    }
-    std::printf("total               %" PRIu64 " ops, %" PRIu64
-                " encoded bytes (%.2f bytes/op)\n",
-                total_ops, total_bytes,
-                static_cast<double>(total_bytes) /
-                    static_cast<double>(total_ops));
-    return 0;
-}
-
-} // namespace
+#include "cli_commands.hh"
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        usage();
-        return 1;
-    }
-    const std::string cmd = argv[1];
-    try {
-        if (cmd == "record")
-            return cmdRecord(argc, argv);
-        if (cmd == "replay")
-            return cmdReplay(argc, argv);
-        if (cmd == "info")
-            return cmdInfo(argc, argv);
-        if (cmd == "--help" || cmd == "-h") {
-            usage();
-            return 0;
-        }
-        usage();
-        sst::fatal("unknown subcommand '" + cmd + "'");
-    } catch (const std::exception &e) {
-        sst::fatal(e.what());
-    }
+    return sst::cli::traceMain(argc, argv, 1);
 }

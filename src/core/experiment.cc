@@ -60,22 +60,24 @@ assembleExperiment(const std::string &label, int nthreads,
 SpeedupExperiment
 runWithBaseline(const SimParams &params, const BenchmarkProfile &profile,
                 int nthreads, const RunResult &baseline,
-                const ReportOptions *opts)
+                const ReportOptions *opts, int ncores_override)
 {
     // Check before the expensive parallel simulation, not after.
     sstAssert(baseline.nthreads == 1,
               "baseline run must be single-threaded");
-    return assembleExperiment(profile.label(), nthreads, params, baseline,
-                              simulate(params, profile, nthreads), opts);
+    return assembleExperiment(
+        profile.label(), nthreads, params, baseline,
+        simulate(params, profile, nthreads, ncores_override), opts);
 }
 
 SpeedupExperiment
 runSpeedupExperiment(const SimParams &params,
                      const BenchmarkProfile &profile, int nthreads,
-                     const ReportOptions *opts)
+                     const ReportOptions *opts, int ncores_override)
 {
     const RunResult baseline = runSingleThreaded(params, profile);
-    return runWithBaseline(params, profile, nthreads, baseline, opts);
+    return runWithBaseline(params, profile, nthreads, baseline, opts,
+                           ncores_override);
 }
 
 const RunResult &

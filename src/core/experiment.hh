@@ -72,18 +72,22 @@ SpeedupExperiment assembleExperiment(const std::string &label,
 /**
  * Run the @p nthreads-thread configuration and assemble the experiment
  * against an existing baseline run (reuse the baseline when sweeping
- * thread counts).
+ * thread counts). @p ncores_override places the parallel run on that
+ * many cores instead of @p nthreads (0 = #cores == #threads); fewer
+ * cores than threads oversubscribes the machine, the Figure 7 regime.
  */
 SpeedupExperiment runWithBaseline(const SimParams &params,
                                   const BenchmarkProfile &profile,
                                   int nthreads, const RunResult &baseline,
-                                  const ReportOptions *opts = nullptr);
+                                  const ReportOptions *opts = nullptr,
+                                  int ncores_override = 0);
 
 /** Convenience wrapper: baseline + parallel run in one call. */
 SpeedupExperiment runSpeedupExperiment(const SimParams &params,
                                        const BenchmarkProfile &profile,
                                        int nthreads,
-                                       const ReportOptions *opts = nullptr);
+                                       const ReportOptions *opts = nullptr,
+                                       int ncores_override = 0);
 
 /** Default report options consistent with @p params. */
 ReportOptions defaultReportOptions(const SimParams &params);

@@ -57,14 +57,25 @@ validateSpec(const JobSpec &spec)
         throw std::invalid_argument(
             "job '" + spec.profile.label() + "': nthreads must be >= 1, got " +
             std::to_string(spec.nthreads));
-    // simulate() pins ncores to nthreads, and the cache hierarchy's
-    // sharers bitmap caps the machine size: reject here so an oversized
-    // job fails cleanly instead of panicking the whole process.
+    // simulate() runs nthreads threads on ncoresEffective() cores, and
+    // the cache hierarchy's sharers bitmap caps the machine size:
+    // reject here so an oversized job fails cleanly instead of
+    // panicking the whole process.
     if (spec.nthreads > kMaxSimCores)
         throw std::invalid_argument(
             "job '" + spec.profile.label() + "': nthreads " +
             std::to_string(spec.nthreads) + " exceeds the " +
             std::to_string(kMaxSimCores) + "-core simulator limit");
+    if (spec.ncores < 0)
+        throw std::invalid_argument(
+            "job '" + spec.profile.label() + "': ncores must be >= 0 "
+            "(0 = match nthreads), got " + std::to_string(spec.ncores));
+    if (spec.ncores > spec.nthreads)
+        throw std::invalid_argument(
+            "job '" + spec.profile.label() + "': ncores " +
+            std::to_string(spec.ncores) + " exceeds nthreads " +
+            std::to_string(spec.nthreads) +
+            " (idle cores cannot speed up the run)");
     if (spec.profile.totalIters == 0)
         throw std::invalid_argument("job '" + spec.profile.label() +
                                     "': profile has no work (totalIters == 0)");
@@ -102,8 +113,12 @@ runOneJob(const DriverOptions &opts, const JobSpec &spec,
         // to live generation; an incompatible file (stale profile,
         // wrong thread count, corruption) throws and fails the job —
         // silently regenerating would hide a stale trace directory.
+        // Recorded op streams embed the schedule they ran under, and a
+        // trace header carries no core count — an oversubscribed job
+        // (ncores < nthreads) always generates live.
         std::shared_ptr<const TraceReader> reader;
-        if (!opts.traceDir.empty()) {
+        if (!opts.traceDir.empty() &&
+            spec.ncoresEffective() == spec.nthreads) {
             const std::string path = tracePathFor(
                 opts.traceDir, profile, spec.nthreads, spec.seedOffset,
                 spec.params.schedPolicy, spec.params.schedSeed);
@@ -136,14 +151,16 @@ runOneJob(const DriverOptions &opts, const JobSpec &spec,
                                            replayParallel(spec.params,
                                                           *reader))
                       : runWithBaseline(spec.params, profile,
-                                        spec.nthreads, baseline);
+                                        spec.nthreads, baseline, nullptr,
+                                        spec.ncores);
         } else if (reader) {
             exp = assembleExperiment(profile.label(), spec.nthreads,
                                      spec.params,
                                      replayBaseline(spec.params, *reader),
                                      replayParallel(spec.params, *reader));
         } else {
-            exp = runSpeedupExperiment(spec.params, profile, spec.nthreads);
+            exp = runSpeedupExperiment(spec.params, profile, spec.nthreads,
+                                       nullptr, spec.ncores);
         }
         res.tracedReplay = reader != nullptr;
         if (cache)

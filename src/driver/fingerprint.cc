@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "spec/machine_keys.hh"
+
 namespace sst {
 namespace {
 
@@ -114,47 +116,19 @@ encodeProfile(std::string &out, const BenchmarkProfile &p)
 void
 encodeParams(std::string &out, const SimParams &params, int ncores_effective)
 {
-    put(out, "params.ncores", ncores_effective);
-    put(out, "params.dispatchWidth", params.dispatchWidth);
-    put(out, "params.llcHitCycles", params.llcHitCycles);
-    put(out, "params.c2cTransferCycles", params.c2cTransferCycles);
-    put(out, "params.robOverlapCycles", params.robOverlapCycles);
-    put(out, "params.coherencyMissCycles", params.coherencyMissCycles);
-    put(out, "params.spinCheckCycles", params.spinCheckCycles);
-    put(out, "params.spinLoopInstrs",
-        static_cast<std::uint64_t>(params.spinLoopInstrs));
-    put(out, "params.lockSpinThreshold", params.lockSpinThreshold);
-    put(out, "params.barrierSpinThreshold", params.barrierSpinThreshold);
-    put(out, "params.ctxSwitchCycles", params.ctxSwitchCycles);
-    put(out, "params.wakeLatencyCycles", params.wakeLatencyCycles);
-    put(out, "params.schedPerCoreOverhead", params.schedPerCoreOverhead);
-    put(out, "params.timeSliceCycles", params.timeSliceCycles);
-    put(out, "params.migrationFlushesL1", params.migrationFlushesL1);
-    put(out, "params.schedPolicy",
-        std::string(schedPolicyLabel(params.schedPolicy)));
+    put(out, "machine.ncores", ncores_effective);
+    put(out, "sched", std::string(schedPolicyLabel(params.schedPolicy)));
     // The RNG stream only influences random schedules; canonicalizing
     // it away for deterministic policies maximizes cache sharing.
-    put(out, "params.schedSeed",
+    put(out, "sched-seed",
         canonicalSchedSeed(params.schedPolicy, params.schedSeed));
-    put(out, "cache.l1Bytes", params.cache.l1Bytes);
-    put(out, "cache.l1Ways", params.cache.l1Ways);
-    put(out, "cache.llcBytes", params.cache.llcBytes);
-    put(out, "cache.llcWays", params.cache.llcWays);
-    put(out, "cache.atdSamplingFactor", params.cache.atdSamplingFactor);
-    put(out, "cache.oracleAtds", params.cache.oracleAtds);
-    put(out, "dram.nbanks", params.dram.nbanks);
-    put(out, "dram.busCycles", params.dram.busCycles);
-    put(out, "dram.dataCycles", params.dram.dataCycles);
-    put(out, "dram.rowHitCycles", params.dram.rowHitCycles);
-    put(out, "dram.rowEmptyCycles", params.dram.rowEmptyCycles);
-    put(out, "dram.rowConflictCycles", params.dram.rowConflictCycles);
-    put(out, "dram.rowBytes", params.dram.rowBytes);
-    put(out, "acct.tian.tableEntries", params.accounting.tian.tableEntries);
-    put(out, "acct.tian.markThreshold",
-        params.accounting.tian.markThreshold);
-    put(out, "acct.li.tableEntries", params.accounting.li.tableEntries);
-    put(out, "acct.stackDetector",
-        static_cast<int>(params.accounting.stackDetector));
+    // Every remaining outcome-relevant field comes from the spec
+    // module's machine-key table — the same table that parses and
+    // serializes `machine.*` spec keys — so a spec-driven run and the
+    // equivalent flag-driven run produce identical canonical text (and
+    // a SimParams field added to the table is automatically part of
+    // the cache identity).
+    encodeMachineParams(out, params);
 }
 
 namespace {
@@ -179,9 +153,10 @@ fingerprintJob(const JobSpec &spec)
     put(out, "job.nthreads", spec.nthreads);
     put(out, "job.seedOffset", spec.seedOffset);
     encodeProfile(out, spec.effectiveProfile());
-    // simulate() pins ncores to nthreads for both the baseline and the
-    // parallel run; canonicalize so equal-outcome jobs hash equally.
-    encodeParams(out, spec.params, spec.nthreads);
+    // The stored params.ncores is irrelevant: the parallel run always
+    // simulates on ncoresEffective() cores (== nthreads unless the job
+    // oversubscribes), so canonicalizing it maximizes cache sharing.
+    encodeParams(out, spec.params, spec.ncoresEffective());
     return finish(std::move(out));
 }
 

@@ -30,8 +30,13 @@ namespace sst {
  * v2: unified event engine + scheduler subsystem; preemption wait is
  * now charged to yield time (changes oversubscribed-run counters), and
  * the encoding gained params.schedPolicy / params.schedSeed.
+ * v3: declarative ExperimentSpec API — the params section is rendered
+ * by the spec module's canonical machine-key table (spec files and
+ * fingerprints can no longer drift), and jobs gained the ncores
+ * oversubscription axis (encoded as machine.ncores, which now may be
+ * smaller than job.nthreads).
  */
-inline constexpr int kFingerprintVersion = 2;
+inline constexpr int kFingerprintVersion = 3;
 
 /** FNV-1a 64-bit hash of @p data. */
 std::uint64_t fnv1a64(const std::string &data);
@@ -52,8 +57,10 @@ void encodeProfile(std::string &out, const BenchmarkProfile &profile);
 /**
  * Canonical serialization of every outcome-relevant SimParams field.
  * @p ncores_effective replaces params.ncores: simulate() pins the core
- * count to the thread count, so the stored field is irrelevant and
- * canonicalizing it maximizes cache and baseline sharing.
+ * count to the job's effective core count (JobSpec::ncoresEffective()),
+ * so the stored field is irrelevant and canonicalizing it maximizes
+ * cache and baseline sharing. The field list is the spec module's
+ * machine-key table (see src/spec/machine_keys.hh).
  */
 void encodeParams(std::string &out, const SimParams &params,
                   int ncores_effective);

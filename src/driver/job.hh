@@ -32,7 +32,13 @@ std::uint64_t deriveJobSeed(std::uint64_t base_seed, std::uint64_t offset);
 struct JobSpec
 {
     BenchmarkProfile profile; ///< workload (copied so jobs are portable)
-    int nthreads = 16;        ///< threads == cores for the parallel run
+    int nthreads = 16;        ///< software threads of the parallel run
+    /**
+     * Cores of the parallel run; 0 (the default) matches the thread
+     * count. Fewer cores than threads oversubscribes the machine and
+     * the OS scheduler time-shares them — the Figure 7 study axis.
+     */
+    int ncores = 0;
     SimParams params;         ///< machine configuration
     /**
      * Replication stream selector: 0 runs the profile's own seed (the
@@ -40,6 +46,9 @@ struct JobSpec
      * stream for the same workload shape.
      */
     std::uint64_t seedOffset = 0;
+
+    /** The core count the parallel run actually simulates on. */
+    int ncoresEffective() const { return ncores > 0 ? ncores : nthreads; }
 
     /** The profile with the job's RNG stream applied. */
     BenchmarkProfile

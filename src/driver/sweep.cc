@@ -138,6 +138,10 @@ parseSize(const std::string &text)
     }
     if (digits.empty())
         throw std::invalid_argument("bad size '" + text + "'");
+    // Digits only: strtoull silently wraps "-5" to a huge value.
+    for (const char c : digits)
+        if (c < '0' || c > '9')
+            throw std::invalid_argument("bad size '" + text + "'");
     errno = 0;
     char *end = nullptr;
     const std::uint64_t v = std::strtoull(digits.c_str(), &end, 10);
@@ -180,18 +184,23 @@ expandGrid(const SweepGrid &grid)
     std::vector<JobSpec> jobs;
     const std::size_t nllc =
         grid.llcBytes.empty() ? 1 : grid.llcBytes.size();
-    jobs.reserve(profiles.size() * grid.threads.size() * nllc);
+    const std::size_t ncores = grid.cores.empty() ? 1 : grid.cores.size();
+    jobs.reserve(profiles.size() * grid.threads.size() * nllc * ncores);
     for (const BenchmarkProfile *profile : profiles) {
         for (const int nthreads : grid.threads) {
             for (std::size_t l = 0; l < nllc; ++l) {
-                JobSpec spec;
-                spec.profile = *profile;
-                spec.nthreads = nthreads;
-                spec.params = grid.baseParams;
-                if (!grid.llcBytes.empty())
-                    spec.params.cache.llcBytes = grid.llcBytes[l];
-                spec.seedOffset = grid.seedOffset;
-                jobs.push_back(std::move(spec));
+                for (std::size_t c = 0; c < ncores; ++c) {
+                    JobSpec spec;
+                    spec.profile = *profile;
+                    spec.nthreads = nthreads;
+                    if (!grid.cores.empty())
+                        spec.ncores = grid.cores[c];
+                    spec.params = grid.baseParams;
+                    if (!grid.llcBytes.empty())
+                        spec.params.cache.llcBytes = grid.llcBytes[l];
+                    spec.seedOffset = grid.seedOffset;
+                    jobs.push_back(std::move(spec));
+                }
             }
         }
     }
@@ -201,7 +210,8 @@ expandGrid(const SweepGrid &grid)
 std::string
 sweepCsvHeader()
 {
-    return "benchmark,suite,nthreads,llc_bytes,seed_offset,status,ts,tp,"
+    return "benchmark,suite,nthreads,ncores,llc_bytes,seed_offset,status,"
+           "ts,tp,"
            "actual_speedup,estimated_speedup,error,base,pos_llc,neg_llc,"
            "net_neg_llc,neg_mem,spin,yield,imbalance,coherency,"
            "par_overhead";
@@ -219,8 +229,9 @@ sweepCsv(const std::vector<JobSpec> &specs,
         const JobSpec &s = specs[i];
         const JobResult &r = results[i];
         os << s.profile.label() << ',' << s.profile.suite << ','
-           << s.nthreads << ',' << s.params.cache.llcBytes << ','
-           << s.seedOffset << ',' << statusName(r.status);
+           << s.nthreads << ',' << s.ncoresEffective() << ','
+           << s.params.cache.llcBytes << ',' << s.seedOffset << ','
+           << statusName(r.status);
         if (r.ok()) {
             const SpeedupExperiment &e = r.exp;
             os << ',' << e.ts << ',' << e.tp << ','
@@ -255,6 +266,7 @@ sweepJson(const std::vector<JobSpec> &specs,
         os << "  {\"benchmark\": \"" << jsonEscape(s.profile.label())
            << "\", \"suite\": \"" << jsonEscape(s.profile.suite)
            << "\", \"nthreads\": " << s.nthreads
+           << ", \"ncores\": " << s.ncoresEffective()
            << ", \"llc_bytes\": " << s.params.cache.llcBytes
            << ", \"seed_offset\": " << s.seedOffset << ", \"status\": \""
            << statusName(r.status) << '"';

@@ -29,6 +29,14 @@ struct SweepGrid
 
     std::vector<int> threads = {16};
 
+    /**
+     * Core counts; empty runs every job with #cores == #threads. A
+     * list crosses with `threads` (cores is the innermost axis), so
+     * `threads = {16}, cores = {2,4,8,16}` is the Figure 7
+     * oversubscription study.
+     */
+    std::vector<int> cores;
+
     /** LLC sizes in bytes; empty keeps baseParams' LLC for every job. */
     std::vector<std::uint64_t> llcBytes;
 

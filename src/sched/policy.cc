@@ -2,73 +2,50 @@
 
 #include <stdexcept>
 
+#include "spec/registries.hh"
+
 namespace sst {
 
-namespace {
-
-/**
- * The one source of truth: labels indexed by enum value. Every lookup
- * (label, parse, raw decode) goes through this table, so adding a
- * policy is a one-line change here plus the enumerator.
- */
-constexpr const char *kPolicyLabels[] = {
-    "affinity-fifo", // kAffinityFifo
-    "round-robin",   // kRoundRobin
-    "random",        // kRandom
-};
-
-constexpr std::size_t kPolicyCount =
-    sizeof(kPolicyLabels) / sizeof(kPolicyLabels[0]);
-
-} // namespace
+// The label table lives in schedulerRegistry() (src/spec/registries.cc),
+// registered in enum order so names()[enum value] is the label. Every
+// lookup below delegates there, so adding a policy is one registry line
+// plus the enumerator — parse errors, --list output and --help text all
+// follow automatically.
 
 const char *
 schedPolicyLabel(SchedPolicy policy)
 {
     const auto idx = static_cast<std::size_t>(policy);
-    return idx < kPolicyCount ? kPolicyLabels[idx] : "?";
+    const auto &names = schedulerRegistry().names();
+    return idx < names.size() ? names[idx].c_str() : "?";
 }
 
 const std::vector<std::string> &
 allSchedPolicyLabels()
 {
-    static const std::vector<std::string> labels(
-        kPolicyLabels, kPolicyLabels + kPolicyCount);
-    return labels;
+    return schedulerRegistry().names();
 }
 
 std::string
 allSchedPolicyLabelsJoined()
 {
-    std::string out;
-    for (std::size_t i = 0; i < kPolicyCount; ++i) {
-        if (!out.empty())
-            out += ", ";
-        out += kPolicyLabels[i];
-    }
-    return out;
+    return schedulerRegistry().namesJoined();
 }
 
 SchedPolicy
 parseSchedPolicy(const std::string &label)
 {
-    for (std::size_t i = 0; i < kPolicyCount; ++i) {
-        if (label == kPolicyLabels[i])
-            return static_cast<SchedPolicy>(i);
-    }
-    throw std::invalid_argument("unknown scheduler policy '" + label +
-                                "'; valid policies: " +
-                                allSchedPolicyLabelsJoined());
+    return schedulerRegistry().at(label); // throws listing valid labels
 }
 
 SchedPolicy
 schedPolicyFromRaw(std::uint32_t raw)
 {
-    if (raw >= kPolicyCount) {
+    const std::size_t count = schedulerRegistry().size();
+    if (raw >= count) {
         throw std::invalid_argument(
             "scheduler policy id " + std::to_string(raw) +
-            " out of range (0.." + std::to_string(kPolicyCount - 1) +
-            ")");
+            " out of range (0.." + std::to_string(count - 1) + ")");
     }
     return static_cast<SchedPolicy>(raw);
 }

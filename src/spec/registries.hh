@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The three named-factory registries every experiment description
+ * resolves through:
+ *
+ *  - profileRegistry():   benchmark label -> BenchmarkProfile (the
+ *                         Figure 6 suite; bare names alias their first
+ *                         input variant, matching profileByLabel()).
+ *  - schedulerRegistry(): `--sched` label -> SchedPolicy (src/sched/).
+ *  - opSourceRegistry():  workload-frontend name -> frontend descriptor
+ *                         ("program" generates op streams live from
+ *                         ThreadProgram; "trace" replays recorded
+ *                         .sstt containers).
+ *
+ * Each registry is enumerable in a stable order, so `sst list ...`
+ * output, spec validation and every unknown-label error message are
+ * generated from the same table instead of hand-maintained lists.
+ * Adding a component means registering a name here — no CLI or error
+ * string needs touching.
+ */
+
+#ifndef SST_SPEC_REGISTRIES_HH
+#define SST_SPEC_REGISTRIES_HH
+
+#include "sched/policy.hh"
+#include "spec/registry.hh"
+#include "workload/profile.hh"
+
+namespace sst {
+
+/**
+ * A workload frontend: how a job's op streams are produced. The
+ * descriptor drives spec validation (a frontend that replays recordings
+ * needs a trace directory) and `sst list frontends` output; the driver
+ * maps the selected frontend onto its execution mode.
+ */
+struct OpSourceFrontend
+{
+    const char *description; ///< one-line summary for listings
+    /** Frontend consumes recorded traces: `trace-dir` must be set. */
+    bool needsTraceDir = false;
+};
+
+/** Benchmark-profile registry (suite order; bare-name aliases). */
+const NamedRegistry<const BenchmarkProfile *> &profileRegistry();
+
+/** Scheduler-policy registry (enum order, values = SchedPolicy). */
+const NamedRegistry<SchedPolicy> &schedulerRegistry();
+
+/** Workload-frontend registry ("program", "trace"). */
+const NamedRegistry<OpSourceFrontend> &opSourceRegistry();
+
+} // namespace sst
+
+#endif // SST_SPEC_REGISTRIES_HH

@@ -1,0 +1,304 @@
+#include "spec.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "spec/machine_keys.hh"
+#include "spec/registries.hh"
+
+namespace sst {
+namespace {
+
+constexpr const char *kMachinePrefix = "machine.";
+
+/** Top-level spec keys, in canonical serialization order. */
+constexpr const char *kTopKeys[] = {
+    "profiles", "threads",    "cores", "llc",        "seed-offset",
+    "frontend", "trace-dir",  "sched", "sched-seed", "output.csv",
+    "output.json", "output.quiet",
+};
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+joinInts(const std::vector<int> &v)
+{
+    std::string out;
+    for (const int x : v) {
+        if (!out.empty())
+            out += ", ";
+        out += std::to_string(x);
+    }
+    return out;
+}
+
+std::string
+joinSizes(const std::vector<std::uint64_t> &v)
+{
+    std::string out;
+    for (const std::uint64_t x : v) {
+        if (!out.empty())
+            out += ", ";
+        out += sizeText(x);
+    }
+    return out;
+}
+
+std::string
+joinLabels(const std::vector<std::string> &v)
+{
+    std::string out;
+    for (const std::string &x : v) {
+        if (!out.empty())
+            out += ", ";
+        out += x;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+applySpecValue(ExperimentSpec &spec, const std::string &key,
+               const std::string &value)
+{
+    if (key == "profiles") {
+        if (value == "all" || value.empty())
+            spec.profiles.clear();
+        else
+            spec.profiles = parseLabelList(value);
+    } else if (key == "threads") {
+        spec.threads = value.empty() ? std::vector<int>{}
+                                     : parseIntList(value);
+    } else if (key == "cores") {
+        spec.cores = value.empty() ? std::vector<int>{}
+                                   : parseIntList(value);
+    } else if (key == "llc") {
+        spec.llcBytes = value.empty() ? std::vector<std::uint64_t>{}
+                                      : parseSizeList(value);
+    } else if (key == "seed-offset") {
+        spec.seedOffset = parseU64Text("seed-offset", value);
+    } else if (key == "frontend") {
+        opSourceRegistry().at(value); // throws listing valid frontends
+        spec.frontend = value;
+    } else if (key == "trace-dir") {
+        spec.traceDir = value;
+    } else if (key == "sched") {
+        spec.machine.schedPolicy = schedulerRegistry().at(value);
+    } else if (key == "sched-seed") {
+        spec.machine.schedSeed = parseU64Text("sched-seed", value);
+    } else if (key == "output.csv") {
+        spec.csvPath = value;
+    } else if (key == "output.json") {
+        spec.jsonPath = value;
+    } else if (key == "output.quiet") {
+        spec.quiet = parseBoolText("output.quiet", value);
+    } else if (key.compare(0, std::string(kMachinePrefix).size(),
+                           kMachinePrefix) == 0) {
+        const std::string name =
+            key.substr(std::string(kMachinePrefix).size());
+        const MachineKey *mk = findMachineKey(name);
+        if (!mk)
+            throw std::invalid_argument("unknown machine key '" + key +
+                                        "'; valid machine keys: " +
+                                        machineKeyNamesJoined());
+        setMachineValue(spec.machine, *mk, value);
+    } else {
+        throw std::invalid_argument("unknown spec key '" + key +
+                                    "'; valid keys: " +
+                                    specKeyNamesJoined());
+    }
+}
+
+std::string
+specKeyNamesJoined()
+{
+    std::string out;
+    for (const char *k : kTopKeys) {
+        if (!out.empty())
+            out += ", ";
+        out += k;
+    }
+    return out + ", " + machineKeyNamesJoined();
+}
+
+ExperimentSpec
+parseSpec(const std::string &text)
+{
+    ExperimentSpec spec;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // '#' starts a comment only at line start or after whitespace,
+        // so values like `output.csv = run#1.csv` survive intact.
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            if (line[i] == '#' &&
+                (i == 0 || std::isspace(static_cast<unsigned char>(
+                               line[i - 1])))) {
+                line.erase(i);
+                break;
+            }
+        }
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument(
+                "line " + std::to_string(lineno) +
+                ": expected 'key = value', got '" + line + "'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            throw std::invalid_argument("line " + std::to_string(lineno) +
+                                        ": empty key");
+        try {
+            applySpecValue(spec, key, value);
+        } catch (const std::invalid_argument &e) {
+            throw std::invalid_argument(
+                "line " + std::to_string(lineno) + ": " + e.what());
+        }
+    }
+    return spec;
+}
+
+ExperimentSpec
+parseSpecFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::invalid_argument("cannot read spec file " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        return parseSpec(buf.str());
+    } catch (const std::invalid_argument &e) {
+        throw std::invalid_argument(path + ": " + e.what());
+    }
+}
+
+std::string
+serializeSpec(const ExperimentSpec &spec)
+{
+    std::string out = "# sst experiment spec (canonical form)\n";
+    auto put = [&out](const char *key, const std::string &value) {
+        // Refuse to emit text that would re-parse differently: a '#'
+        // at value start or after whitespace reads back as a comment,
+        // and an embedded newline would split the line. Throwing here
+        // keeps parse(serialize(s)) == s exact for every serializable
+        // spec instead of silently corrupting the round trip.
+        for (std::size_t i = 0; i < value.size(); ++i) {
+            const bool comment_start =
+                value[i] == '#' &&
+                (i == 0 || std::isspace(static_cast<unsigned char>(
+                               value[i - 1])));
+            if (comment_start || value[i] == '\n') {
+                throw std::invalid_argument(
+                    std::string("cannot serialize ") + key +
+                    " value '" + value +
+                    "': it would re-parse as a comment or line break");
+            }
+        }
+        out += key;
+        out += value.empty() ? " =" : " = ";
+        out += value;
+        out += '\n';
+    };
+    put("profiles",
+        spec.profiles.empty() ? "all" : joinLabels(spec.profiles));
+    put("threads", joinInts(spec.threads));
+    put("cores", joinInts(spec.cores));
+    put("llc", joinSizes(spec.llcBytes));
+    put("seed-offset", std::to_string(spec.seedOffset));
+    put("frontend", spec.frontend);
+    put("trace-dir", spec.traceDir);
+    put("sched", schedPolicyLabel(spec.machine.schedPolicy));
+    put("sched-seed", std::to_string(spec.machine.schedSeed));
+    encodeMachineParams(out, spec.machine);
+    put("output.csv", spec.csvPath);
+    put("output.json", spec.jsonPath);
+    put("output.quiet", spec.quiet ? "true" : "false");
+    return out;
+}
+
+bool
+operator==(const ExperimentSpec &a, const ExperimentSpec &b)
+{
+    return serializeSpec(a) == serializeSpec(b);
+}
+
+bool
+operator!=(const ExperimentSpec &a, const ExperimentSpec &b)
+{
+    return !(a == b);
+}
+
+void
+validateSpec(const ExperimentSpec &spec)
+{
+    const OpSourceFrontend &frontend = opSourceRegistry().at(spec.frontend);
+    if (frontend.needsTraceDir && spec.traceDir.empty())
+        throw std::invalid_argument("frontend '" + spec.frontend +
+                                    "' replays recordings: trace-dir "
+                                    "must be set");
+    if (!frontend.needsTraceDir && !spec.traceDir.empty())
+        throw std::invalid_argument(
+            "trace-dir is set but frontend '" + spec.frontend +
+            "' does not replay traces (use `frontend = trace`)");
+    if (frontend.needsTraceDir && !spec.cores.empty())
+        throw std::invalid_argument(
+            "frontend '" + spec.frontend + "' cannot drive a cores "
+            "axis: recordings embed the schedule of a #cores == "
+            "#threads run, so oversubscribed jobs would silently "
+            "regenerate live instead of replaying");
+    if (spec.threads.empty())
+        throw std::invalid_argument("spec selects no thread counts");
+    if (spec.machine.schedSeed != 0 &&
+        spec.machine.schedPolicy != SchedPolicy::kRandom) {
+        throw std::invalid_argument(
+            "sched-seed only affects `sched = random`; the seed would "
+            "be silently ignored");
+    }
+    // Resolve every label now so a typo fails with the registry's
+    // message before any job runs.
+    for (const std::string &label : spec.profiles)
+        if (!profileRegistry().find(label))
+            profileRegistry().at(label); // throws, listing valid names
+}
+
+SweepGrid
+specGrid(const ExperimentSpec &spec)
+{
+    validateSpec(spec);
+    SweepGrid grid;
+    grid.profiles = spec.profiles.empty() ? allProfileLabels()
+                                          : spec.profiles;
+    grid.threads = spec.threads;
+    grid.cores = spec.cores;
+    grid.llcBytes = spec.llcBytes;
+    grid.baseParams = spec.machine;
+    grid.seedOffset = spec.seedOffset;
+    return grid;
+}
+
+void
+applySpecToDriverOptions(const ExperimentSpec &spec, DriverOptions &opts)
+{
+    if (opSourceRegistry().at(spec.frontend).needsTraceDir)
+        opts.traceDir = spec.traceDir;
+}
+
+} // namespace sst

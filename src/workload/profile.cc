@@ -1,5 +1,6 @@
 #include "profile.hh"
 
+#include "spec/registries.hh"
 #include "util/logging.hh"
 
 namespace sst {
@@ -443,43 +444,37 @@ benchmarkSuite()
     return suite;
 }
 
+// The lookup functions below are thin wrappers over profileRegistry()
+// (src/spec/registries.hh), which owns the label index, the bare-name
+// aliasing rule, and the generated unknown-label error message.
+
 const BenchmarkProfile *
 findProfileByLabel(const std::string &label)
 {
-    for (const auto &p : benchmarkSuite()) {
-        if (p.label() == label || p.name == label)
-            return &p;
-    }
-    return nullptr;
+    const BenchmarkProfile *const *p = profileRegistry().find(label);
+    return p ? *p : nullptr;
 }
 
 const BenchmarkProfile &
 profileByLabel(const std::string &label)
 {
-    if (const BenchmarkProfile *p = findProfileByLabel(label))
-        return *p;
-    fatal("unknown benchmark profile: " + label);
+    try {
+        return *profileRegistry().at(label);
+    } catch (const std::invalid_argument &e) {
+        fatal(e.what()); // lists every valid label
+    }
 }
 
 std::vector<std::string>
 allProfileLabels()
 {
-    std::vector<std::string> out;
-    for (const auto &p : benchmarkSuite())
-        out.push_back(p.label());
-    return out;
+    return profileRegistry().names();
 }
 
 std::string
 allProfileLabelsJoined()
 {
-    std::string out;
-    for (const auto &p : benchmarkSuite()) {
-        if (!out.empty())
-            out += ", ";
-        out += p.label();
-    }
-    return out;
+    return profileRegistry().namesJoined();
 }
 
 } // namespace sst
