@@ -62,8 +62,8 @@ printBatchTable(const std::vector<JobSpec> &jobs,
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const JobSpec &s = jobs[i];
         const JobResult &r = results[i];
-        std::vector<std::string> row = {s.profile.label(),
-                                        std::to_string(s.nthreads)};
+        std::vector<std::string> row = {s.label(),
+                                        std::to_string(s.nthreads())};
         if (show_cores)
             row.push_back(std::to_string(s.ncoresEffective()));
         if (show_llc)
@@ -82,7 +82,13 @@ printBatchTable(const std::vector<JobSpec> &jobs,
                        ? std::string(shortComponentName(ranked[k]))
                        : std::string("-");
         };
-        row.push_back(fmtDouble(s.profile.paperSpeedup16, 2));
+        // The paper reports 16-thread speedups per benchmark; mixes and
+        // pipelines have no single paper row.
+        row.push_back(s.workload.isHomogeneous()
+                          ? fmtDouble(s.workload.groups[0]
+                                          .profile.paperSpeedup16,
+                                      2)
+                          : std::string("-"));
         row.push_back(fmtDouble(e.actualSpeedup, 2));
         row.push_back(fmtDouble(e.estimatedSpeedup, 2));
         row.push_back(fmtPercent(e.error, 1));
@@ -114,10 +120,11 @@ printBatchStats(const ExperimentDriver &driver)
     const BatchStats &stats = driver.stats();
     std::printf(
         "batch: %zu jobs, %zu executed, %zu cached, %zu failed, "
-        "%zu baselines, %zu trace replays, %d workers\n",
+        "%zu baselines, %zu trace replays, %zu traces recorded, "
+        "%d workers\n",
         stats.total, stats.executed, stats.cached, stats.failed,
         stats.baselinesComputed, stats.traceReplays,
-        driver.workerCount());
+        stats.tracesRecorded, driver.workerCount());
 }
 
 /** Run a grid, print, export — the tail shared by sweep and run. */
@@ -150,6 +157,10 @@ sweepUsage()
     std::printf(
         "usage: sweep [options]\n"
         "  --profiles all|A,B,...  benchmark labels (default: all)\n"
+        "  --mix LIST              heterogeneous workloads: registered\n"
+        "                          mixes/pipelines (`sst list mixes`) or\n"
+        "                          inline a:8+b:8 / s1:1>s2:2 descriptors\n"
+        "                          (replaces --profiles/--threads)\n"
         "  --threads LIST          thread counts, e.g. 2,4,8,16 "
         "(default: 16)\n"
         "  --cores LIST            core counts (default: = threads;\n"
@@ -163,6 +174,9 @@ sweepUsage()
         "  --refresh               re-run and overwrite cached results\n"
         "  --trace-dir DIR         replay recorded op traces from DIR\n"
         "                          (see `trace record --trace-dir`)\n"
+        "  --record-dir DIR        capture .sstt traces of live jobs\n"
+        "                          into DIR as the batch runs (cache\n"
+        "                          hits skip capture)\n"
         "  --sched POLICY          scheduler policy (default:\n"
         "                          affinity-fifo)\n"
         "  --sched-seed K          RNG stream for --sched random\n"
@@ -358,9 +372,16 @@ traceInfo(int argc, char **argv, int first)
     std::printf("sched_policy        %s\n",
                 schedPolicyLabel(meta.schedPolicy));
     std::printf("sched_seed          %" PRIu64 "\n", meta.schedSeed);
+    std::printf("workload_role       %s\n", workloadRoleName(meta.role));
+    for (std::size_t g = 0; g < meta.groups.size(); ++g) {
+        std::printf("group %-2zu            %s: %d threads, profile "
+                    "%016" PRIx64 "\n",
+                    g, meta.groups[g].label.c_str(),
+                    meta.groups[g].nthreads, meta.groups[g].profileHash);
+    }
     std::uint64_t total_ops = 0, total_bytes = 0;
     for (int s = 0; s < reader.nstreams(); ++s) {
-        const bool baseline = s == meta.nthreads;
+        const bool baseline = s >= meta.nthreads;
         std::printf("stream %-3d %s  %12" PRIu64 " ops  %12" PRIu64
                     " bytes\n",
                     s, baseline ? "(baseline)" : "          ",
@@ -403,13 +424,6 @@ runUsage()
 
 // ---- list -------------------------------------------------------------------
 
-void
-listUsage()
-{
-    std::printf("usage: sst list <profiles|scheds|frontends>\n"
-                "enumerate one registry, one name per line\n");
-}
-
 int
 listProfiles()
 {
@@ -445,6 +459,61 @@ listFrontends()
     return 0;
 }
 
+int
+listMixes()
+{
+    TextTable table;
+    table.setHeader({"mix", "role", "threads", "groups"});
+    for (const std::string &name : mixRegistry().names()) {
+        const WorkloadSpec &w = *mixRegistry().find(name);
+        table.addRow({name, workloadRoleName(w.role),
+                      std::to_string(w.nthreads()), w.descriptor()});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}
+
+/** The list subcommands, table-driven like the registries themselves:
+ *  usage text and the unknown-registry error enumerate this table. */
+struct ListCommand
+{
+    const char *name;
+    const char *description;
+    int (*run)();
+};
+
+constexpr ListCommand kListCommands[] = {
+    {"profiles", "the Figure 6 benchmark suite", listProfiles},
+    {"scheds", "OS scheduler policies (--sched)", listScheds},
+    {"frontends", "workload frontends (frontend =)", listFrontends},
+    {"mixes", "named heterogeneous workloads (workload =)", listMixes},
+};
+
+std::string
+listCommandNamesJoined()
+{
+    std::string out;
+    for (const ListCommand &c : kListCommands) {
+        if (!out.empty())
+            out += ", ";
+        out += c.name;
+    }
+    return out;
+}
+
+int
+listUsage()
+{
+    TextTable table;
+    table.setHeader({"registry", "contents"});
+    for (const ListCommand &c : kListCommands)
+        table.addRow({c.name, c.description});
+    std::printf("usage: sst list <%s>\n%s\n",
+                listCommandNamesJoined().c_str(),
+                table.render().c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -452,6 +521,8 @@ sweepMain(int argc, char **argv, int first)
 {
     SweepGrid grid;
     grid.profiles = allProfileLabels();
+    bool profiles_given = false;
+    bool threads_given = false;
 
     DriverOptions opts;
     opts.jobs = 0; // hardware concurrency
@@ -464,10 +535,14 @@ sweepMain(int argc, char **argv, int first)
             const std::string arg = argv[i];
             if (arg == "--profiles") {
                 const std::string v = argValue(argc, argv, i);
+                profiles_given = true;
                 if (v != "all")
                     grid.profiles = parseLabelList(v);
+            } else if (arg == "--mix") {
+                grid.workloads = parseLabelList(argValue(argc, argv, i));
             } else if (arg == "--threads") {
                 grid.threads = parseIntList(argValue(argc, argv, i));
+                threads_given = true;
             } else if (arg == "--cores") {
                 grid.cores = parseIntList(argValue(argc, argv, i));
             } else if (arg == "--llc") {
@@ -486,6 +561,8 @@ sweepMain(int argc, char **argv, int first)
                 opts.refresh = true;
             } else if (arg == "--trace-dir") {
                 opts.traceDir = argValue(argc, argv, i);
+            } else if (arg == "--record-dir") {
+                opts.recordDir = argValue(argc, argv, i);
             } else if (arg == "--sched") {
                 grid.baseParams.schedPolicy =
                     parseSchedPolicy(argValue(argc, argv, i));
@@ -512,6 +589,15 @@ sweepMain(int argc, char **argv, int first)
             fatal("--sched-seed only affects --sched random; the "
                   "seed would be silently ignored");
         }
+        // --mix replaces the profile and thread axes; an explicit
+        // --profiles next to it is a contradiction expandGrid rejects,
+        // and an explicit --threads would be silently ignored — fatal.
+        if (!grid.workloads.empty() && threads_given) {
+            fatal("--threads does not apply to --mix (each workload "
+                  "carries its own thread counts)");
+        }
+        if (!grid.workloads.empty() && !profiles_given)
+            grid.profiles.clear();
 
         return executeBatch(grid, opts, quiet, csvPath, jsonPath);
     } catch (const std::exception &e) {
@@ -632,22 +718,17 @@ listMain(int argc, char **argv, int first)
 {
     if (first >= argc) {
         listUsage();
-        return 1;
+        return 1; // missing registry argument is an error, like before
     }
     const std::string what = argv[first];
-    if (what == "profiles")
-        return listProfiles();
-    if (what == "scheds")
-        return listScheds();
-    if (what == "frontends")
-        return listFrontends();
-    if (what == "--help" || what == "-h") {
-        listUsage();
-        return 0;
-    }
+    for (const ListCommand &c : kListCommands)
+        if (what == c.name)
+            return c.run();
+    if (what == "--help" || what == "-h")
+        return listUsage();
     listUsage();
-    fatal("unknown registry '" + what +
-          "'; valid registries: profiles, scheds, frontends");
+    fatal("unknown registry '" + what + "'; valid registries: " +
+          listCommandNamesJoined());
 }
 
 } // namespace cli

@@ -51,7 +51,7 @@ main(int argc, char **argv)
     // expandGrid() is profile-major: one contiguous block per benchmark.
     for (std::size_t base = 0; base < specs.size();
          base += threads.size()) {
-        std::vector<std::string> row = {specs[base].profile.label(),
+        std::vector<std::string> row = {specs[base].label(),
                                         "1.00"};
         for (std::size_t i = 0; i < threads.size(); ++i) {
             const sst::JobResult &r = results[base + i];

@@ -55,7 +55,7 @@ main(int argc, char **argv)
     std::vector<sst::RunningStat> err(threads.size());
     for (std::size_t base = 0; base < specs.size();
          base += threads.size()) {
-        std::vector<std::string> row = {specs[base].profile.label()};
+        std::vector<std::string> row = {specs[base].label()};
         double err16 = 0.0;
         bool err16Valid = false;
         for (std::size_t i = 0; i < threads.size(); ++i) {

@@ -47,7 +47,8 @@ main(int argc, char **argv)
                        "class (paper)"});
 
     for (std::size_t i = 0; i < specs.size(); ++i) {
-        const sst::BenchmarkProfile &profile = specs[i].profile;
+        const sst::BenchmarkProfile &profile =
+            specs[i].workload.groups[0].profile;
         if (!results[i].ok()) {
             std::fprintf(stderr, "%s failed: %s\n",
                          profile.label().c_str(),

@@ -1,46 +1,74 @@
 /**
  * @file
  * Figure 8: negative, positive and net LLC interference components (in
- * speedup units) at 16 cores for the benchmarks with a non-negligible
- * positive interference component: cholesky, lu.cont, canneal (both
- * inputs), bfs, lu.ncont and needle. In the paper, negative interference
- * exceeds positive interference for all of them, yielding a net negative
- * component.
+ * speedup units) for real two-program mixes on a 16-core machine. The
+ * paper studies LLC interference between co-running workloads; each
+ * registered `fig08_<benchmark>` mix co-schedules the benchmark (8
+ * threads) with a cache-hungry canneal partner (8 threads), and the
+ * speedup stack is normalized against the sum of both programs' own
+ * 1-thread runs (the per-program baseline the methodology requires).
+ * In the paper, negative interference exceeds positive interference
+ * for all of these benchmarks, yielding a net negative component.
+ *
+ * The whole study executes as one batch on the parallel experiment
+ * driver — the same grid `examples/specs/fig08.spec` describes.
+ *
+ * Usage: fig08_llc_interference [jobs] [--sched POLICY] [--jobs N]
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "cli_common.hh"
-#include "core/experiment.hh"
+#include "driver/sweep.hh"
+#include "spec/registries.hh"
 #include "util/format.hh"
-#include "workload/profile.hh"
 
 int
 main(int argc, char **argv)
 {
     const sst::cli::BenchOptions o =
-        sst::cli::parseBenchArgs(argc, argv, "fig08_llc_interference", false);
-    const std::vector<std::string> benchmarks = {
-        "cholesky", "lu.cont", "canneal_small", "canneal_medium",
-        "bfs",      "lu.ncont", "needle"};
+        sst::cli::parseBenchArgs(argc, argv, "fig08_llc_interference [jobs]");
+
+    // Every registered fig08_* mix, in registry order.
+    sst::SweepGrid grid;
+    for (const std::string &name : sst::mixRegistry().names())
+        if (name.compare(0, 6, "fig08_") == 0)
+            grid.workloads.push_back(name);
+    grid.baseParams = o.params;
+    grid.seedOffset = o.seedOffset;
 
     std::printf("Figure 8: negative, positive and net LLC interference "
-                "components (16 cores)\n\n");
+                "components (two-program mixes, 16 cores)\n\n");
+
+    const std::vector<sst::JobSpec> specs = sst::expandGrid(grid);
+
+    sst::DriverOptions opts;
+    opts.jobs = o.positionals.empty() ? o.jobs
+                                      : static_cast<int>(o.positionals[0]);
+
+    sst::BatchStats stats;
+    const std::vector<sst::JobResult> results =
+        sst::runExperimentBatch(specs, opts, &stats);
 
     sst::TextTable table;
-    table.setHeader({"benchmark", "neg cache interference",
+    table.setHeader({"mix", "neg cache interference",
                      "pos cache interference", "net interference"});
-    for (const auto &label : benchmarks) {
-        const sst::BenchmarkProfile &profile = sst::profileByLabel(label);
-        sst::SimParams params = o.params;
-        params.ncores = 16;
-        const sst::SpeedupExperiment exp =
-            sst::runSpeedupExperiment(params, profile, 16);
-        table.addRow({label, sst::fmtDouble(exp.stack.negLlc, 3),
-                      sst::fmtDouble(exp.stack.posLlc, 3),
-                      sst::fmtDouble(exp.stack.netNegLlc(), 3)});
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const sst::JobResult &r = results[i];
+        if (!r.ok()) {
+            table.addRow({specs[i].label(), "FAILED: " + r.error, "-",
+                          "-"});
+            continue;
+        }
+        table.addRow({specs[i].label(),
+                      sst::fmtDouble(r.exp.stack.negLlc, 3),
+                      sst::fmtDouble(r.exp.stack.posLlc, 3),
+                      sst::fmtDouble(r.exp.stack.netNegLlc(), 3)});
     }
     std::printf("%s\n", table.render().c_str());
+    std::printf("(%zu jobs, %zu shared baselines)\n", stats.total,
+                stats.baselinesComputed);
     return 0;
 }

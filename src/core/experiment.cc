@@ -80,6 +80,47 @@ runSpeedupExperiment(const SimParams &params,
                            ncores_override);
 }
 
+RunResult
+combineGroupBaselines(const std::vector<RunResult> &group_baselines)
+{
+    sstAssert(!group_baselines.empty(),
+              "combineGroupBaselines needs at least one run");
+    if (group_baselines.size() == 1)
+        return group_baselines[0];
+    RunResult combined;
+    combined.nthreads = 1;
+    combined.ncores = 1;
+    for (const RunResult &r : group_baselines) {
+        sstAssert(r.nthreads == 1,
+                  "group baselines must be single-threaded runs");
+        combined.executionTime += r.executionTime;
+        combined.totalInstructions += r.totalInstructions;
+        combined.totalSpinInstructions += r.totalSpinInstructions;
+        combined.engineEvents += r.engineEvents;
+    }
+    return combined;
+}
+
+SpeedupExperiment
+runMixExperiment(const SimParams &params, const WorkloadSpec &workload,
+                 const ReportOptions *opts, int ncores_override)
+{
+    workload.validate();
+    if (workload.isHomogeneous()) {
+        return runSpeedupExperiment(params, workload.groups[0].profile,
+                                    workload.groups[0].nthreads, opts,
+                                    ncores_override);
+    }
+    std::vector<RunResult> bases;
+    bases.reserve(workload.groups.size());
+    for (const WorkloadGroup &g : workload.groups)
+        bases.push_back(runSingleThreaded(params, g.profile));
+    return assembleExperiment(
+        workload.label(), workload.nthreads(), params,
+        combineGroupBaselines(bases),
+        simulateWorkload(params, workload, ncores_override), opts);
+}
+
 const RunResult &
 BaselineStore::get(const std::string &key, const SimParams &params,
                    const BenchmarkProfile &profile)

@@ -23,6 +23,7 @@
 #include "sim/run_result.hh"
 #include "sim/system.hh"
 #include "workload/profile.hh"
+#include "workload/workload_spec.hh"
 
 namespace sst {
 
@@ -88,6 +89,32 @@ SpeedupExperiment runSpeedupExperiment(const SimParams &params,
                                        int nthreads,
                                        const ReportOptions *opts = nullptr,
                                        int ncores_override = 0);
+
+/**
+ * Fold per-program 1-thread reference runs into one baseline for a
+ * heterogeneous workload: per the paper's per-thread normalization,
+ * a mix's (or pipeline's) sequential reference time Ts is the sum of
+ * each program's own single-threaded run. @p group_baselines must be
+ * one 1-thread RunResult per workload group, in group order. With one
+ * group the input run is returned unchanged (the homogeneous path);
+ * with several, the combined result carries the summed times and
+ * instruction counts only (no per-thread counters — the parallel run
+ * provides those).
+ */
+RunResult combineGroupBaselines(const std::vector<RunResult> &group_baselines);
+
+/**
+ * Run the heterogeneous-workload experiment: per-group 1-thread
+ * reference runs (summed into the mix baseline) plus the co-scheduled
+ * parallel run of every group, assembled into a speedup experiment.
+ * For a homogeneous spec this is runSpeedupExperiment() bit for bit.
+ * @p ncores_override places the parallel run on that many cores
+ * (0 = one per thread); fewer cores oversubscribes the machine.
+ */
+SpeedupExperiment runMixExperiment(const SimParams &params,
+                                   const WorkloadSpec &workload,
+                                   const ReportOptions *opts = nullptr,
+                                   int ncores_override = 0);
 
 /** Default report options consistent with @p params. */
 ReportOptions defaultReportOptions(const SimParams &params);

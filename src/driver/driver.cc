@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -53,44 +54,70 @@ class TraceReaderCache
 void
 validateSpec(const JobSpec &spec)
 {
-    if (spec.nthreads < 1)
+    spec.workload.validate(); // structure: groups, counts, role rules
+    const std::string label = spec.label();
+    const int nthreads = spec.nthreads();
+    if (nthreads < 1)
         throw std::invalid_argument(
-            "job '" + spec.profile.label() + "': nthreads must be >= 1, got " +
-            std::to_string(spec.nthreads));
+            "job '" + label + "': nthreads must be >= 1, got " +
+            std::to_string(nthreads));
     // simulate() runs nthreads threads on ncoresEffective() cores, and
     // the cache hierarchy's sharers bitmap caps the machine size:
     // reject here so an oversized job fails cleanly instead of
     // panicking the whole process.
-    if (spec.nthreads > kMaxSimCores)
+    if (nthreads > kMaxSimCores)
         throw std::invalid_argument(
-            "job '" + spec.profile.label() + "': nthreads " +
-            std::to_string(spec.nthreads) + " exceeds the " +
-            std::to_string(kMaxSimCores) + "-core simulator limit");
+            "job '" + label + "': nthreads " + std::to_string(nthreads) +
+            " exceeds the " + std::to_string(kMaxSimCores) +
+            "-core simulator limit");
     if (spec.ncores < 0)
         throw std::invalid_argument(
-            "job '" + spec.profile.label() + "': ncores must be >= 0 "
+            "job '" + label + "': ncores must be >= 0 "
             "(0 = match nthreads), got " + std::to_string(spec.ncores));
-    if (spec.ncores > spec.nthreads)
+    if (spec.ncores > nthreads)
         throw std::invalid_argument(
-            "job '" + spec.profile.label() + "': ncores " +
-            std::to_string(spec.ncores) + " exceeds nthreads " +
-            std::to_string(spec.nthreads) +
+            "job '" + label + "': ncores " + std::to_string(spec.ncores) +
+            " exceeds nthreads " + std::to_string(nthreads) +
             " (idle cores cannot speed up the run)");
-    if (spec.profile.totalIters == 0)
-        throw std::invalid_argument("job '" + spec.profile.label() +
-                                    "': profile has no work (totalIters == 0)");
-    if (spec.profile.name.empty())
-        throw std::invalid_argument("job: profile has no name");
+    for (const WorkloadGroup &g : spec.workload.groups) {
+        if (g.profile.totalIters == 0)
+            throw std::invalid_argument(
+                "job '" + label + "': profile '" + g.profile.label() +
+                "' has no work (totalIters == 0)");
+        if (g.profile.name.empty())
+            throw std::invalid_argument("job: profile has no name");
+    }
     if (spec.params.cache.llcBytes == 0 || spec.params.cache.l1Bytes == 0)
-        throw std::invalid_argument("job '" + spec.profile.label() +
+        throw std::invalid_argument("job '" + label +
                                     "': cache sizes must be non-zero");
 }
+
+/**
+ * Per-batch claim set for --record-dir trace paths. Jobs that differ
+ * only in machine parameters share one canonical trace name (op
+ * streams are machine-independent); the first job to claim a path
+ * records it, the rest skip — two workers never write one file.
+ */
+class TraceRecordClaims
+{
+  public:
+    bool
+    claim(const std::string &path)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return claimed_.insert(path).second;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::set<std::string> claimed_;
+};
 
 /** Execute one job (validation, cache, trace replay or live runs). */
 JobResult
 runOneJob(const DriverOptions &opts, const JobSpec &spec,
           BaselineStore &baselines, ResultCache *cache,
-          TraceReaderCache &traces)
+          TraceReaderCache &traces, TraceRecordClaims &records)
 {
     JobResult res;
     try {
@@ -99,15 +126,18 @@ runOneJob(const DriverOptions &opts, const JobSpec &spec,
         if (cache && !opts.refresh) {
             SpeedupExperiment hit;
             if (cache->lookup(fp, hit)) {
+                // Cache hits never re-simulate, so they also never
+                // record: --record-dir captures only fresh runs.
                 res.status = JobStatus::kCached;
                 res.exp = std::move(hit);
                 return res;
             }
         }
 
-        const BenchmarkProfile profile = spec.effectiveProfile();
+        const WorkloadSpec workload = spec.effectiveWorkload();
+        const int nthreads = workload.nthreads();
 
-        // Trace replay: when the job's canonical recording exists, both
+        // Trace replay: when the job's canonical recording exists, all
         // runs re-simulate from the recorded op streams and no
         // ThreadProgram is ever constructed. A missing file falls back
         // to live generation; an incompatible file (stale profile,
@@ -118,50 +148,99 @@ runOneJob(const DriverOptions &opts, const JobSpec &spec,
         // (ncores < nthreads) always generates live.
         std::shared_ptr<const TraceReader> reader;
         if (!opts.traceDir.empty() &&
-            spec.ncoresEffective() == spec.nthreads) {
+            spec.ncoresEffective() == nthreads) {
             const std::string path = tracePathFor(
-                opts.traceDir, profile, spec.nthreads, spec.seedOffset,
+                opts.traceDir, workload, spec.seedOffset,
                 spec.params.schedPolicy, spec.params.schedSeed);
             if (std::filesystem::exists(path)) {
                 reader = traces.get(path);
-                reader->requireCompatible(traceProfileHash(profile),
-                                          spec.nthreads,
-                                          spec.params.schedPolicy,
-                                          spec.params.schedSeed);
+                reader->requireCompatibleWorkload(
+                    workload.role, traceGroupsOf(workload),
+                    spec.params.schedPolicy, spec.params.schedSeed);
             }
         }
 
-        SpeedupExperiment exp;
-        if (opts.shareBaselines) {
-            // Keyed by the full canonical text (not the hash) so two
-            // distinct baselines can never silently share a slot. The
-            // key is frontend-agnostic: a replayed baseline is
-            // bit-identical to a generated one, so traced and live jobs
-            // may share slots freely.
-            const RunResult &baseline = baselines.get(
-                fingerprintBaseline(spec).canonical,
-                [&]() -> RunResult {
-                    if (reader)
-                        return replayBaseline(spec.params, *reader);
-                    return runSingleThreaded(spec.params, profile);
-                });
-            exp = reader
-                      ? assembleExperiment(profile.label(), spec.nthreads,
-                                           spec.params, baseline,
-                                           replayParallel(spec.params,
-                                                          *reader))
-                      : runWithBaseline(spec.params, profile,
-                                        spec.nthreads, baseline, nullptr,
-                                        spec.ncores);
-        } else if (reader) {
-            exp = assembleExperiment(profile.label(), spec.nthreads,
-                                     spec.params,
-                                     replayBaseline(spec.params, *reader),
-                                     replayParallel(spec.params, *reader));
-        } else {
-            exp = runSpeedupExperiment(spec.params, profile, spec.nthreads,
-                                       nullptr, spec.ncores);
+        // Trace capture (--record-dir): fresh, non-oversubscribed jobs
+        // write their canonical recording while they run. Jobs that
+        // differ only in machine parameters share one trace name (op
+        // streams are machine-independent); the claim set makes the
+        // first such job the recorder.
+        std::unique_ptr<TraceWriter> writer;
+        std::string record_path;
+        if (!opts.recordDir.empty() && !reader &&
+            spec.ncoresEffective() == nthreads) {
+            record_path = tracePathFor(opts.recordDir, workload,
+                                       spec.seedOffset,
+                                       spec.params.schedPolicy,
+                                       spec.params.schedSeed);
+            if (records.claim(record_path)) {
+                writer = std::make_unique<TraceWriter>(
+                    traceMetaFor(workload, spec.params));
+                // Baseline streams are a pure function of the profiles
+                // — fill them by generation so the 1-thread runs can
+                // still come from the shared BaselineStore.
+                for (int g = 0; g < workload.ngroups(); ++g) {
+                    appendGeneratedBaseline(
+                        *writer,
+                        workload.groups[static_cast<std::size_t>(g)]
+                            .profile,
+                        g);
+                }
+            }
         }
+
+        // Per-group 1-thread reference runs. Keys are the full
+        // canonical baseline text (not the hash) so two distinct
+        // baselines can never silently share a slot; the key is
+        // frontend-agnostic (a replayed baseline is bit-identical to a
+        // generated one) and group-agnostic (a mix group shares its
+        // baseline with homogeneous sweeps of the same profile).
+        std::vector<RunResult> group_bases;
+        group_bases.reserve(workload.groups.size());
+        for (std::size_t g = 0; g < workload.groups.size(); ++g) {
+            const BenchmarkProfile &profile = workload.groups[g].profile;
+            const int group = static_cast<int>(g);
+            auto compute = [&]() -> RunResult {
+                if (reader)
+                    return replayBaseline(spec.params, *reader, group);
+                return runSingleThreaded(spec.params, profile);
+            };
+            if (opts.shareBaselines) {
+                group_bases.push_back(baselines.get(
+                    fingerprintProfileBaseline(spec.params, profile)
+                        .canonical,
+                    compute));
+            } else {
+                group_bases.push_back(compute());
+            }
+        }
+
+        // The parallel run: recorded replay or live generation (with
+        // the capture shim around it when this job records).
+        RunResult parallel;
+        if (reader) {
+            parallel = replayParallel(spec.params, *reader);
+        } else if (writer) {
+            const OpSourceFactory inner = workloadOpSources(workload);
+            const ThreadTopology topo =
+                workload.topology(spec.ncoresEffective());
+            parallel = simulateSources(
+                spec.params,
+                [&](ThreadId tid, int n) -> std::unique_ptr<OpSource> {
+                    return std::make_unique<RecordingSource>(
+                        inner(tid, n), *writer, tid);
+                },
+                nthreads, spec.ncores, &topo);
+            writer->writeFile(record_path);
+            res.traceRecorded = true;
+        } else {
+            parallel = simulateWorkload(spec.params, workload,
+                                        spec.ncores);
+        }
+
+        SpeedupExperiment exp = assembleExperiment(
+            workload.label(), nthreads, spec.params,
+            combineGroupBaselines(group_bases), std::move(parallel));
         res.tracedReplay = reader != nullptr;
         if (cache)
             cache->store(fp, exp);
@@ -179,8 +258,14 @@ runOneJob(const DriverOptions &opts, const JobSpec &spec,
 ExperimentDriver::ExperimentDriver(DriverOptions opts)
     : opts_(std::move(opts))
 {
+    if (!opts_.traceDir.empty() && !opts_.recordDir.empty())
+        throw std::invalid_argument(
+            "trace-dir (replay) and record-dir (capture) are mutually "
+            "exclusive: replayed jobs have nothing new to record");
     if (!opts_.cacheDir.empty())
         cache_ = std::make_unique<ResultCache>(opts_.cacheDir);
+    if (!opts_.recordDir.empty())
+        std::filesystem::create_directories(opts_.recordDir);
 }
 
 ExperimentDriver::~ExperimentDriver() = default;
@@ -203,21 +288,22 @@ ExperimentDriver::runBatch(const std::vector<JobSpec> &specs)
     std::vector<JobResult> results(specs.size());
     BaselineStore baselines;
     TraceReaderCache traces;
+    TraceRecordClaims records;
     ResultCache *cache = cache_.get();
 
     const int nworkers = workerCount();
     if (nworkers <= 1 || specs.size() <= 1) {
         for (std::size_t i = 0; i < specs.size(); ++i)
-            results[i] =
-                runOneJob(opts_, specs[i], baselines, cache, traces);
+            results[i] = runOneJob(opts_, specs[i], baselines, cache,
+                                   traces, records);
     } else {
         WorkStealingPool pool(nworkers);
         for (std::size_t i = 0; i < specs.size(); ++i) {
-            pool.submit(
-                [this, i, &specs, &results, &baselines, cache, &traces] {
-                    results[i] = runOneJob(opts_, specs[i], baselines,
-                                           cache, traces);
-                });
+            pool.submit([this, i, &specs, &results, &baselines, cache,
+                         &traces, &records] {
+                results[i] = runOneJob(opts_, specs[i], baselines, cache,
+                                       traces, records);
+            });
         }
         pool.waitIdle();
     }
@@ -225,6 +311,8 @@ ExperimentDriver::runBatch(const std::vector<JobSpec> &specs)
     for (const JobResult &r : results) {
         if (r.tracedReplay)
             ++stats_.traceReplays;
+        if (r.traceRecorded)
+            ++stats_.tracesRecorded;
         switch (r.status) {
         case JobStatus::kOk:
             ++stats_.executed;

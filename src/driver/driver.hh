@@ -48,6 +48,17 @@ struct DriverOptions
     std::string traceDir;
 
     /**
+     * Capture `.sstt` op traces of live jobs into this directory as
+     * the batch runs (the `sweep --record-dir` mode). Each freshly
+     * executed, non-oversubscribed job writes its canonical trace file
+     * (tracePathFor) via the RecordingSource shim around its parallel
+     * run; baseline streams are filled by pure generation, so shared
+     * baselines stay shared. Cache hits and trace replays skip
+     * capture. Mutually exclusive with traceDir.
+     */
+    std::string recordDir;
+
+    /**
      * Share 1-thread baseline runs across jobs with an equal baseline
      * fingerprint (the experiment math reuses Ts across thread counts).
      */
@@ -63,6 +74,7 @@ struct BatchStats
     std::size_t failed = 0;   ///< rejected spec or execution error
     std::size_t baselinesComputed = 0; ///< distinct 1-thread runs
     std::size_t traceReplays = 0; ///< executed jobs driven from a trace
+    std::size_t tracesRecorded = 0; ///< jobs captured via --record-dir
 };
 
 /** Executes job batches; reusable across batches (stats reset per run). */

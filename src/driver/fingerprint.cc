@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "spec/machine_keys.hh"
+#include "util/logging.hh"
 
 namespace sst {
 namespace {
@@ -147,12 +148,35 @@ finish(std::string text)
 Fingerprint
 fingerprintJob(const JobSpec &spec)
 {
+    const WorkloadSpec workload = spec.effectiveWorkload();
     std::string out;
-    put(out, "fingerprint.version", kFingerprintVersion);
-    put(out, "job.kind", std::string("experiment"));
-    put(out, "job.nthreads", spec.nthreads);
-    put(out, "job.seedOffset", spec.seedOffset);
-    encodeProfile(out, spec.effectiveProfile());
+    if (workload.isHomogeneous()) {
+        // The v3 schema, verbatim: homogeneous jobs simulate
+        // bit-identically to the pre-WorkloadSpec stack, so their cache
+        // entries must keep resolving (and a spec-driven, flag-driven
+        // or pre-refactor run all hash the same text).
+        put(out, "fingerprint.version", kHomogeneousSchemaVersion);
+        put(out, "job.kind", std::string("experiment"));
+        put(out, "job.nthreads", spec.nthreads());
+        put(out, "job.seedOffset", spec.seedOffset);
+        encodeProfile(out, workload.groups[0].profile);
+    } else {
+        put(out, "fingerprint.version", kFingerprintVersion);
+        put(out, "job.kind", std::string("experiment"));
+        put(out, "job.nthreads", spec.nthreads());
+        put(out, "job.seedOffset", spec.seedOffset);
+        put(out, "workload.role",
+            std::string(workloadRoleName(workload.role)));
+        put(out, "workload.groups",
+            static_cast<std::uint64_t>(workload.groups.size()));
+        for (std::size_t g = 0; g < workload.groups.size(); ++g) {
+            // Group headers make the repeated profile.* sections
+            // unambiguous in the canonical text.
+            put(out, "workload.group", static_cast<std::uint64_t>(g));
+            put(out, "group.nthreads", workload.groups[g].nthreads);
+            encodeProfile(out, workload.groups[g].profile);
+        }
+    }
     // The stored params.ncores is irrelevant: the parallel run always
     // simulates on ncoresEffective() cores (== nthreads unless the job
     // oversubscribes), so canonicalizing it maximizes cache sharing.
@@ -161,20 +185,32 @@ fingerprintJob(const JobSpec &spec)
 }
 
 Fingerprint
-fingerprintBaseline(const JobSpec &spec)
+fingerprintProfileBaseline(const SimParams &params,
+                           const BenchmarkProfile &profile)
 {
     std::string out;
-    put(out, "fingerprint.version", kFingerprintVersion);
+    put(out, "fingerprint.version", kHomogeneousSchemaVersion);
     put(out, "job.kind", std::string("baseline"));
-    encodeProfile(out, spec.effectiveProfile());
+    encodeProfile(out, profile);
     // One thread on one core never consults the scheduler policy (no
     // contention, no wakes, no preemption), so canonicalize it away:
     // cross-policy sweeps then share one baseline per profile.
-    SimParams base = spec.params;
+    SimParams base = params;
     base.schedPolicy = SchedPolicy::kAffinityFifo;
     base.schedSeed = 0;
     encodeParams(out, base, 1);
     return finish(std::move(out));
+}
+
+Fingerprint
+fingerprintBaseline(const JobSpec &spec)
+{
+    const WorkloadSpec workload = spec.effectiveWorkload();
+    sstAssert(workload.isHomogeneous(),
+              "per-job baseline fingerprints are homogeneous-only; "
+              "heterogeneous jobs key one baseline per group");
+    return fingerprintProfileBaseline(spec.params,
+                                      workload.groups[0].profile);
 }
 
 } // namespace sst

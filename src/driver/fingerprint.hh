@@ -35,8 +35,18 @@ namespace sst {
  * fingerprints can no longer drift), and jobs gained the ncores
  * oversubscription axis (encoded as machine.ncores, which now may be
  * smaller than job.nthreads).
+ * v4: per-thread WorkloadSpec — heterogeneous jobs (mixes, pipelines)
+ * encode a workload section (role + per-group thread counts and
+ * profiles). Homogeneous jobs still simulate bit-identically, so they
+ * keep emitting the v3 schema verbatim (kHomogeneousSchemaVersion):
+ * every result cached before the refactor stays valid and shared.
  */
-inline constexpr int kFingerprintVersion = 3;
+inline constexpr int kFingerprintVersion = 4;
+
+/** Schema version homogeneous jobs (and all 1-profile baselines)
+ *  canonicalize to — the pre-WorkloadSpec encoding, preserved exactly
+ *  so existing cache entries survive the refactor. */
+inline constexpr int kHomogeneousSchemaVersion = 3;
 
 /** FNV-1a 64-bit hash of @p data. */
 std::uint64_t fnv1a64(const std::string &data);
@@ -65,15 +75,26 @@ void encodeProfile(std::string &out, const BenchmarkProfile &profile);
 void encodeParams(std::string &out, const SimParams &params,
                   int ncores_effective);
 
-/** Fingerprint of a full job (profile x nthreads x params x seed). */
+/** Fingerprint of a full job (workload x params x seed). */
 Fingerprint fingerprintJob(const JobSpec &spec);
 
 /**
  * Fingerprint of the job's single-threaded baseline run. Pins the
  * thread/core count to 1 and drops nthreads, so every job that differs
- * only in thread count shares one baseline.
+ * only in thread count shares one baseline. Heterogeneous jobs have
+ * one baseline per group — see fingerprintProfileBaseline().
  */
 Fingerprint fingerprintBaseline(const JobSpec &spec);
+
+/**
+ * Baseline fingerprint of one program: the 1-thread run of @p profile
+ * (seed already applied) under @p params. This is the per-group
+ * baseline key of heterogeneous jobs and is byte-identical to
+ * fingerprintBaseline() for the same profile, so mix groups and
+ * homogeneous sweeps share baseline computations.
+ */
+Fingerprint fingerprintProfileBaseline(const SimParams &params,
+                                       const BenchmarkProfile &profile);
 
 } // namespace sst
 

@@ -2,10 +2,11 @@
  * @file
  * Job descriptions and results for the parallel experiment driver. A
  * JobSpec is a fully declarative description of one speedup experiment —
- * benchmark profile, thread count, machine parameters and an optional
- * seed offset — so that a job's outcome is a pure function of its spec:
- * bit-identical whether it runs serially, on a worker pool, or is
- * replayed from the on-disk result cache.
+ * a per-thread WorkloadSpec (one homogeneous program, a multi-program
+ * mix, or a pipeline), machine parameters and an optional seed offset —
+ * so that a job's outcome is a pure function of its spec: bit-identical
+ * whether it runs serially, on a worker pool, or is replayed from the
+ * on-disk result cache.
  */
 
 #ifndef SST_DRIVER_JOB_HH
@@ -17,6 +18,7 @@
 #include "core/experiment.hh"
 #include "sim/params.hh"
 #include "workload/profile.hh"
+#include "workload/workload_spec.hh"
 
 namespace sst {
 
@@ -28,11 +30,15 @@ namespace sst {
  */
 std::uint64_t deriveJobSeed(std::uint64_t base_seed, std::uint64_t offset);
 
-/** One experiment to execute: profile x nthreads x SimParams overrides. */
+/** One experiment to execute: workload x SimParams overrides. */
 struct JobSpec
 {
-    BenchmarkProfile profile; ///< workload (copied so jobs are portable)
-    int nthreads = 16;        ///< software threads of the parallel run
+    /**
+     * The per-thread workload (copied so jobs are portable). Thread
+     * counts live inside the spec: a homogeneous job is
+     * WorkloadSpec::homogeneous(profile, nthreads).
+     */
+    WorkloadSpec workload;
     /**
      * Cores of the parallel run; 0 (the default) matches the thread
      * count. Fewer cores than threads oversubscribes the machine and
@@ -41,22 +47,52 @@ struct JobSpec
     int ncores = 0;
     SimParams params;         ///< machine configuration
     /**
-     * Replication stream selector: 0 runs the profile's own seed (the
+     * Replication stream selector: 0 runs each profile's own seed (the
      * paper's configuration); k > 0 derives an independent k-th RNG
      * stream for the same workload shape.
      */
     std::uint64_t seedOffset = 0;
 
-    /** The core count the parallel run actually simulates on. */
-    int ncoresEffective() const { return ncores > 0 ? ncores : nthreads; }
-
-    /** The profile with the job's RNG stream applied. */
-    BenchmarkProfile
-    effectiveProfile() const
+    /** Homogeneous convenience: @p nthreads threads of @p profile. */
+    static JobSpec
+    forProfile(const BenchmarkProfile &profile, int nthreads)
     {
-        BenchmarkProfile p = profile;
-        p.seed = deriveJobSeed(p.seed, seedOffset);
-        return p;
+        JobSpec spec;
+        spec.workload = WorkloadSpec::homogeneous(profile, nthreads);
+        return spec;
+    }
+
+    /** Software threads of the parallel run (all groups). */
+    int nthreads() const { return workload.nthreads(); }
+
+    /** Display label (profile label when homogeneous). */
+    std::string label() const { return workload.label(); }
+
+    /** The core count the parallel run actually simulates on. */
+    int
+    ncoresEffective() const
+    {
+        return ncores > 0 ? ncores : nthreads();
+    }
+
+    /**
+     * The workload with the job's RNG streams applied: every group's
+     * seed is mixed with the replication offset, and groups beyond the
+     * first additionally fold in their group index, so two instances
+     * of the same program in a mix draw decorrelated streams. Offset 0
+     * leaves group 0 (and thus every homogeneous job) untouched.
+     */
+    WorkloadSpec
+    effectiveWorkload() const
+    {
+        WorkloadSpec w = workload;
+        for (std::size_t g = 0; g < w.groups.size(); ++g) {
+            std::uint64_t seed =
+                deriveJobSeed(w.groups[g].profile.seed, seedOffset);
+            seed = deriveJobSeed(seed, static_cast<std::uint64_t>(g));
+            w.groups[g].profile.seed = seed;
+        }
+        return w;
     }
 };
 
@@ -81,6 +117,9 @@ struct JobResult
 
     /** Runs were replayed from a recorded op trace (no generation). */
     bool tracedReplay = false;
+
+    /** A trace of this job's op streams was captured (--record-dir). */
+    bool traceRecorded = false;
 
     bool ok() const { return status != JobStatus::kFailed; }
     bool fromCache() const { return status == JobStatus::kCached; }

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "spec/registries.hh"
 #include "util/logging.hh"
 #include "workload/profile.hh"
 
@@ -37,6 +38,17 @@ f64(double v)
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
+}
+
+/** CSV/JSON `suite` column: the profile's suite for homogeneous jobs
+ *  (bit-identical to the pre-WorkloadSpec output), the workload role
+ *  for mixes and pipelines. */
+std::string
+jobSuite(const JobSpec &s)
+{
+    if (s.workload.isHomogeneous())
+        return s.workload.groups[0].profile.suite;
+    return workloadRoleName(s.workload.role);
 }
 
 const char *
@@ -162,45 +174,61 @@ parseSizeList(const std::string &text)
 std::vector<JobSpec>
 expandGrid(const SweepGrid &grid)
 {
-    if (grid.profiles.empty())
-        throw std::invalid_argument("sweep grid has no profiles");
-    if (grid.threads.empty())
-        throw std::invalid_argument("sweep grid has no thread counts");
-
-    // Resolve labels up front so a typo fails the whole expansion
-    // loudly instead of producing a batch of failed jobs. Same
-    // semantics as profileByLabel(): label or bare name.
-    std::vector<const BenchmarkProfile *> profiles;
-    for (const std::string &label : grid.profiles) {
-        const BenchmarkProfile *found = findProfileByLabel(label);
-        if (!found) {
+    // Resolve either axis into one list of workloads; the job
+    // construction over cores x LLC is shared below.
+    std::vector<WorkloadSpec> workloads;
+    if (!grid.workloads.empty()) {
+        if (!grid.profiles.empty()) {
             throw std::invalid_argument(
-                "unknown benchmark profile '" + label +
-                "'; valid labels: " + allProfileLabelsJoined());
+                "sweep grid has both workloads and profiles; the axes "
+                "are exclusive (a workload names its own profiles)");
         }
-        profiles.push_back(found);
+        workloads.reserve(grid.workloads.size());
+        for (const std::string &text : grid.workloads)
+            workloads.push_back(parseWorkload(text)); // throws, lists names
+    } else {
+        if (grid.profiles.empty())
+            throw std::invalid_argument("sweep grid has no profiles");
+        if (grid.threads.empty())
+            throw std::invalid_argument("sweep grid has no thread counts");
+
+        // Resolve labels up front so a typo fails the whole expansion
+        // loudly instead of producing a batch of failed jobs. Same
+        // semantics as profileByLabel(): label or bare name.
+        std::vector<const BenchmarkProfile *> profiles;
+        for (const std::string &label : grid.profiles) {
+            const BenchmarkProfile *found = findProfileByLabel(label);
+            if (!found) {
+                throw std::invalid_argument(
+                    "unknown benchmark profile '" + label +
+                    "'; valid labels: " + allProfileLabelsJoined());
+            }
+            profiles.push_back(found);
+        }
+        workloads.reserve(profiles.size() * grid.threads.size());
+        for (const BenchmarkProfile *profile : profiles)
+            for (const int nthreads : grid.threads)
+                workloads.push_back(
+                    WorkloadSpec::homogeneous(*profile, nthreads));
     }
 
-    std::vector<JobSpec> jobs;
     const std::size_t nllc =
         grid.llcBytes.empty() ? 1 : grid.llcBytes.size();
     const std::size_t ncores = grid.cores.empty() ? 1 : grid.cores.size();
-    jobs.reserve(profiles.size() * grid.threads.size() * nllc * ncores);
-    for (const BenchmarkProfile *profile : profiles) {
-        for (const int nthreads : grid.threads) {
-            for (std::size_t l = 0; l < nllc; ++l) {
-                for (std::size_t c = 0; c < ncores; ++c) {
-                    JobSpec spec;
-                    spec.profile = *profile;
-                    spec.nthreads = nthreads;
-                    if (!grid.cores.empty())
-                        spec.ncores = grid.cores[c];
-                    spec.params = grid.baseParams;
-                    if (!grid.llcBytes.empty())
-                        spec.params.cache.llcBytes = grid.llcBytes[l];
-                    spec.seedOffset = grid.seedOffset;
-                    jobs.push_back(std::move(spec));
-                }
+    std::vector<JobSpec> jobs;
+    jobs.reserve(workloads.size() * nllc * ncores);
+    for (const WorkloadSpec &workload : workloads) {
+        for (std::size_t l = 0; l < nllc; ++l) {
+            for (std::size_t c = 0; c < ncores; ++c) {
+                JobSpec spec;
+                spec.workload = workload;
+                if (!grid.cores.empty())
+                    spec.ncores = grid.cores[c];
+                spec.params = grid.baseParams;
+                if (!grid.llcBytes.empty())
+                    spec.params.cache.llcBytes = grid.llcBytes[l];
+                spec.seedOffset = grid.seedOffset;
+                jobs.push_back(std::move(spec));
             }
         }
     }
@@ -228,8 +256,8 @@ sweepCsv(const std::vector<JobSpec> &specs,
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const JobSpec &s = specs[i];
         const JobResult &r = results[i];
-        os << s.profile.label() << ',' << s.profile.suite << ','
-           << s.nthreads << ',' << s.ncoresEffective() << ','
+        os << s.label() << ',' << jobSuite(s) << ','
+           << s.nthreads() << ',' << s.ncoresEffective() << ','
            << s.params.cache.llcBytes << ',' << s.seedOffset << ','
            << statusName(r.status);
         if (r.ok()) {
@@ -263,9 +291,9 @@ sweepJson(const std::vector<JobSpec> &specs,
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const JobSpec &s = specs[i];
         const JobResult &r = results[i];
-        os << "  {\"benchmark\": \"" << jsonEscape(s.profile.label())
-           << "\", \"suite\": \"" << jsonEscape(s.profile.suite)
-           << "\", \"nthreads\": " << s.nthreads
+        os << "  {\"benchmark\": \"" << jsonEscape(s.label())
+           << "\", \"suite\": \"" << jsonEscape(jobSuite(s))
+           << "\", \"nthreads\": " << s.nthreads()
            << ", \"ncores\": " << s.ncoresEffective()
            << ", \"llc_bytes\": " << s.params.cache.llcBytes
            << ", \"seed_offset\": " << s.seedOffset << ", \"status\": \""

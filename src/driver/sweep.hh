@@ -27,6 +27,16 @@ struct SweepGrid
     /** Benchmark labels ("cholesky", "facesim_medium", ...). */
     std::vector<std::string> profiles;
 
+    /**
+     * Heterogeneous-workload axis: registered mix/pipeline names
+     * ("fig08_cholesky", "ferret4") or inline descriptors
+     * ("cholesky:8+fft:8", "a:1>b:2"), resolved through mixRegistry()
+     * and the profile registry. Mutually exclusive with `profiles`;
+     * thread counts live inside each workload, so the `threads` axis
+     * does not apply (it crosses with `cores` and `llcBytes` only).
+     */
+    std::vector<std::string> workloads;
+
     std::vector<int> threads = {16};
 
     /**

@@ -14,6 +14,19 @@ AffinityFifoScheduler::pickNext(CoreId core)
             return tid;
         }
     }
+    // No thread last ran here: prefer one whose workload affinity hint
+    // names this core (pipeline stages return to their stage's core
+    // range). The table is empty for homogeneous runs, so historical
+    // schedules are untouched.
+    if (hasAffinityHints()) {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (affinityHint(it->tid) == core) {
+                const ThreadId tid = it->tid;
+                queue_.erase(it);
+                return tid;
+            }
+        }
+    }
     const ThreadId tid = queue_.front().tid;
     queue_.pop_front();
     return tid;

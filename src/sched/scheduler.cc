@@ -43,10 +43,26 @@ Scheduler::firstIdleCore(CoreId preferred) const
     return kInvalidId;
 }
 
-CoreId
-Scheduler::placeWoken(ThreadId, CoreId last_core) const
+void
+Scheduler::setAffinityHints(std::vector<CoreId> hints)
 {
-    return firstIdleCore(last_core);
+    sstAssert(hints.empty() ||
+                  hints.size() == static_cast<std::size_t>(nthreads_),
+              "affinity hint table must cover every thread");
+    for (const CoreId c : hints)
+        sstAssert(c >= 0 && c < params_.ncores,
+                  "affinity hint outside the machine");
+    hints_ = std::move(hints);
+}
+
+CoreId
+Scheduler::placeWoken(ThreadId tid, CoreId last_core) const
+{
+    // Prefer the thread's last core (its L1 state), then its workload
+    // affinity hint (its stage's core range), then any idle core.
+    const CoreId preferred =
+        last_core != kInvalidId ? last_core : affinityHint(tid);
+    return firstIdleCore(preferred);
 }
 
 bool

@@ -79,6 +79,27 @@ class Scheduler
     void onCoreBusy(CoreId core);
     void onCoreIdle(CoreId core);
 
+    // ---- workload affinity hints -------------------------------------------
+    /**
+     * Install per-thread preferred cores. Heterogeneous workloads use
+     * this to keep pipeline stages on a stable core range (the stage's
+     * working set stays resident); the table is empty for homogeneous
+     * runs, which keeps every historical schedule bit-identical.
+     * Policies consult affinityHint() as a placement tie-breaker after
+     * last-run-core affinity.
+     */
+    void setAffinityHints(std::vector<CoreId> hints);
+
+    /** Preferred core of @p tid (kInvalidId when no hint installed). */
+    CoreId
+    affinityHint(ThreadId tid) const
+    {
+        return hints_.empty() ? kInvalidId
+                              : hints_[static_cast<std::size_t>(tid)];
+    }
+
+    bool hasAffinityHints() const { return !hints_.empty(); }
+
     // ---- wake placement ----------------------------------------------------
     /**
      * Idle core for woken thread @p tid, preferring @p last_core
@@ -104,6 +125,7 @@ class Scheduler
 
   private:
     std::vector<std::uint8_t> idle_;
+    std::vector<CoreId> hints_; ///< per-thread preferred cores (optional)
 };
 
 /** Build the scheduler selected by params.schedPolicy. */

@@ -26,7 +26,7 @@ hashState(std::uint64_t a, std::uint64_t b)
 } // namespace
 
 System::System(const SimParams &params, const OpSourceFactory &sources,
-               int nthreads)
+               int nthreads, const ThreadTopology *topo)
     : params_(params), nthreads_(nthreads),
       hierarchy_(params.ncores, params.cache),
       dram_(params.ncores, params.dram),
@@ -37,6 +37,21 @@ System::System(const SimParams &params, const OpSourceFactory &sources,
     sstAssert(params.ncores >= 1, "System needs at least one core");
     sstAssert(static_cast<bool>(sources), "System needs an op-source factory");
     sched_ = makeScheduler(params_, nthreads);
+
+    if (topo && !topo->barrierQuorum.empty()) {
+        sstAssert(topo->barrierQuorum.size() ==
+                      static_cast<std::size_t>(nthreads),
+                  "barrier quorum table must cover every thread");
+        quorums_ = topo->barrierQuorum;
+    } else {
+        quorums_.assign(static_cast<std::size_t>(nthreads), nthreads);
+    }
+    if (topo && !topo->affinityHint.empty()) {
+        sstAssert(topo->affinityHint.size() ==
+                      static_cast<std::size_t>(nthreads),
+                  "affinity hint table must cover every thread");
+        sched_->setAffinityHints(topo->affinityHint);
+    }
 
     threads_.resize(static_cast<std::size_t>(nthreads));
     for (int t = 0; t < nthreads; ++t) {
@@ -352,8 +367,8 @@ bool
 System::doBarrier(Core &core, Thread &th, const Op &op, Cycles &now)
 {
     std::vector<ThreadId> woken;
-    const bool last =
-        sync_.barrierArrive(op.id, th.tid, nthreads_, woken);
+    const bool last = sync_.barrierArrive(
+        op.id, th.tid, quorums_[static_cast<std::size_t>(th.tid)], woken);
     hierarchy_.access(core.id, toPhysical(addrmap::barrierWord(op.id)), true);
     chargeInstructions(th, 4, now);
 
@@ -363,7 +378,7 @@ System::doBarrier(Core &core, Thread &th, const Op &op, Cycles &now)
         // Region boundary (Section 4.6): snapshot all counters so
         // per-region stacks can be built from deltas. The warmup
         // barrier precedes the RoI and is not a region.
-        if (op.id != kWarmupBarrierId && roiPassed_ == nthreads_) {
+        if (!isWarmupBarrier(op.id) && roiPassed_ == nthreads_) {
             RegionBoundary rb;
             rb.barrier = op.id;
             rb.at = now > roiStart_ ? now - roiStart_ : 0;
@@ -565,12 +580,25 @@ simulate(const SimParams &base, const BenchmarkProfile &profile,
 
 RunResult
 simulateSources(const SimParams &base, const OpSourceFactory &sources,
-                int nthreads, int ncores_override)
+                int nthreads, int ncores_override,
+                const ThreadTopology *topo)
 {
     SimParams p = base;
     p.ncores = ncores_override > 0 ? ncores_override : nthreads;
-    System sys(p, sources, nthreads);
+    System sys(p, sources, nthreads, topo);
     return sys.run();
+}
+
+RunResult
+simulateWorkload(const SimParams &base, const WorkloadSpec &spec,
+                 int ncores_override)
+{
+    spec.validate();
+    const int nthreads = spec.nthreads();
+    const int ncores = ncores_override > 0 ? ncores_override : nthreads;
+    const ThreadTopology topo = spec.topology(ncores);
+    return simulateSources(base, workloadOpSources(spec), nthreads,
+                           ncores_override, &topo);
 }
 
 } // namespace sst

@@ -45,6 +45,7 @@
 #include "util/types.hh"
 #include "workload/op_source.hh"
 #include "workload/profile.hh"
+#include "workload/workload_spec.hh"
 
 namespace sst {
 
@@ -66,9 +67,13 @@ class System
      * @param sources factory producing each thread's op stream
      * @param nthreads software threads to spawn (may exceed
      *        params.ncores; the scheduler then time-shares cores)
+     * @param topo per-thread barrier quorums and scheduler affinity
+     *        hints for heterogeneous workloads; nullptr (or empty
+     *        members) means the homogeneous defaults: every barrier
+     *        waits for all threads, no hints
      */
     System(const SimParams &params, const OpSourceFactory &sources,
-           int nthreads);
+           int nthreads, const ThreadTopology *topo = nullptr);
 
     /**
      * Convenience form: generate the streams with ThreadProgram from
@@ -181,6 +186,10 @@ class System
     AccountingUnit acct_;
 
     std::vector<Thread> threads_;
+    /** Barrier quorum per thread: its program group's size for mixes,
+     *  all threads otherwise (groups namespace their barrier ids, so
+     *  the arriving thread determines a barrier's participant set). */
+    std::vector<int> quorums_;
     std::vector<Core> cores_;
     EventQueue events_;
     std::unique_ptr<Scheduler> sched_;
@@ -205,10 +214,21 @@ RunResult simulate(const SimParams &base, const BenchmarkProfile &profile,
  * streams built by @p sources on @p nthreads cores (or
  * @p ncores_override cores when oversubscribing). This is the entry
  * point trace replay and other non-ThreadProgram frontends use.
+ * Heterogeneous frontends pass their @p topo (quorums, hints).
  */
 RunResult simulateSources(const SimParams &base,
                           const OpSourceFactory &sources, int nthreads,
-                          int ncores_override = 0);
+                          int ncores_override = 0,
+                          const ThreadTopology *topo = nullptr);
+
+/**
+ * Simulate a (possibly heterogeneous) workload: every thread runs its
+ * group's profile with disjoint data/sync namespaces, barrier quorums
+ * and affinity hints derived from the spec. For homogeneous specs this
+ * is bit-identical to simulate(profile, nthreads).
+ */
+RunResult simulateWorkload(const SimParams &base, const WorkloadSpec &spec,
+                           int ncores_override = 0);
 
 } // namespace sst
 

@@ -15,9 +15,9 @@ constexpr const char *kMachinePrefix = "machine.";
 
 /** Top-level spec keys, in canonical serialization order. */
 constexpr const char *kTopKeys[] = {
-    "profiles", "threads",    "cores", "llc",        "seed-offset",
-    "frontend", "trace-dir",  "sched", "sched-seed", "output.csv",
-    "output.json", "output.quiet",
+    "profiles", "workload",  "pipeline",  "threads",      "cores",
+    "llc",      "seed-offset", "frontend", "trace-dir",   "sched",
+    "sched-seed", "output.csv", "output.json", "output.quiet",
 };
 
 std::string
@@ -78,6 +78,32 @@ applySpecValue(ExperimentSpec &spec, const std::string &key,
             spec.profiles.clear();
         else
             spec.profiles = parseLabelList(value);
+    } else if (key == "workload") {
+        spec.workloads.clear();
+        if (!value.empty()) {
+            for (const std::string &item : parseLabelList(value))
+                spec.workloads.push_back(canonicalWorkloadText(item));
+        }
+    } else if (key == "pipeline") {
+        // Sugar: select a registered pipeline and its frontend in one
+        // line. Serialization emits the expanded workload/frontend
+        // keys, so the canonical form stays a fixed point. Because the
+        // key assigns two fields, combining it with `workload =` would
+        // silently drop one of them — reject instead.
+        if (!spec.workloads.empty()) {
+            throw std::invalid_argument(
+                "`pipeline =` cannot be combined with `workload =`; "
+                "list pipelines in `workload =` with `frontend = "
+                "pipeline` instead");
+        }
+        const std::string canon = canonicalWorkloadText(value);
+        if (parseWorkload(canon).role != WorkloadRole::kPipeline) {
+            throw std::invalid_argument(
+                "'" + value + "' is not a pipeline workload (use "
+                "`workload =` for mixes)");
+        }
+        spec.workloads = {canon};
+        spec.frontend = "pipeline";
     } else if (key == "threads") {
         spec.threads = value.empty() ? std::vector<int>{}
                                      : parseIntList(value);
@@ -219,6 +245,7 @@ serializeSpec(const ExperimentSpec &spec)
     };
     put("profiles",
         spec.profiles.empty() ? "all" : joinLabels(spec.profiles));
+    put("workload", joinLabels(spec.workloads));
     put("threads", joinInts(spec.threads));
     put("cores", joinInts(spec.cores));
     put("llc", joinSizes(spec.llcBytes));
@@ -264,7 +291,43 @@ validateSpec(const ExperimentSpec &spec)
             "axis: recordings embed the schedule of a #cores == "
             "#threads run, so oversubscribed jobs would silently "
             "regenerate live instead of replaying");
-    if (spec.threads.empty())
+    if (!spec.workloads.empty() && !spec.profiles.empty()) {
+        throw std::invalid_argument(
+            "workload and profiles are exclusive axes (a workload "
+            "names its own profiles)");
+    }
+    if (!spec.workloads.empty() &&
+        !(spec.threads.size() == 1 && spec.threads[0] == 16)) {
+        // The default threads value {16} is indistinguishable from an
+        // explicit `threads = 16`, which is harmless either way; any
+        // other value would be silently ignored — reject it.
+        throw std::invalid_argument(
+            "the threads axis does not apply to workloads (each "
+            "workload carries its own thread counts); drop `threads =`");
+    }
+    // Resolve every workload now (registry mixes, inline labels) and
+    // tie pipeline workloads to the pipeline frontend, so a mismatch
+    // fails with the registry's message before any job runs. One parse
+    // per descriptor: both checks read the same resolved role.
+    const bool pipeline_frontend = spec.frontend == "pipeline";
+    for (const std::string &text : spec.workloads) {
+        const WorkloadRole role = parseWorkload(text).role; // throws
+        if (pipeline_frontend && role != WorkloadRole::kPipeline)
+            throw std::invalid_argument(
+                "frontend 'pipeline' selected but workload '" + text +
+                "' is not a pipeline");
+        if (!pipeline_frontend && spec.frontend == "program" &&
+            role == WorkloadRole::kPipeline) {
+            throw std::invalid_argument(
+                "pipeline workloads need `frontend = pipeline` (or "
+                "the `pipeline =` shorthand)");
+        }
+    }
+    if (pipeline_frontend && spec.workloads.empty())
+        throw std::invalid_argument(
+            "frontend 'pipeline' needs `workload = <pipeline>` "
+            "(e.g. one of: " + mixRegistry().namesJoined() + ")");
+    if (spec.workloads.empty() && spec.threads.empty())
         throw std::invalid_argument("spec selects no thread counts");
     if (spec.machine.schedSeed != 0 &&
         spec.machine.schedPolicy != SchedPolicy::kRandom) {
@@ -284,9 +347,15 @@ specGrid(const ExperimentSpec &spec)
 {
     validateSpec(spec);
     SweepGrid grid;
-    grid.profiles = spec.profiles.empty() ? allProfileLabels()
-                                          : spec.profiles;
-    grid.threads = spec.threads;
+    if (!spec.workloads.empty()) {
+        // The workload axis carries its own profiles/thread counts.
+        grid.workloads = spec.workloads;
+        grid.threads.clear();
+    } else {
+        grid.profiles = spec.profiles.empty() ? allProfileLabels()
+                                              : spec.profiles;
+        grid.threads = spec.threads;
+    }
     grid.cores = spec.cores;
     grid.llcBytes = spec.llcBytes;
     grid.baseParams = spec.machine;

@@ -43,6 +43,16 @@ struct ExperimentSpec
     /** Benchmark labels; empty selects the whole Figure 6 suite. */
     std::vector<std::string> profiles;
 
+    /**
+     * Heterogeneous-workload axis (`workload = fig08_cholesky,
+     * cholesky:8+fft:8`): registered mix/pipeline names or inline
+     * descriptors, stored canonicalized. Mutually exclusive with
+     * `profiles`; each workload carries its own thread counts, so the
+     * `threads` axis does not apply. The `pipeline = <name>` spec key
+     * is sugar for `workload = <name>` + `frontend = pipeline`.
+     */
+    std::vector<std::string> workloads;
+
     /** Thread counts (sweep axis). */
     std::vector<int> threads = {16};
 

@@ -7,20 +7,30 @@
  *   offset 0   magic            8 bytes, "SSTTRACE"
  *              version          u32 LE (kTraceVersion)
  *              nthreads         u32 LE, threads of the parallel run
- *              profileHash      u64 LE, fingerprint of the source profile
+ *              profileHash      u64 LE, fingerprint of the workload
+ *                               (the single profile's hash for
+ *                               homogeneous recordings)
  *              schedPolicy      u32 LE, scheduler policy recorded under
  *              schedSeed        u64 LE, scheduler RNG stream (random
  *                               policy); both fields version >= 2 only —
  *                               v1 files are read as affinity-fifo /
  *                               seed 0, the only configuration then
  *              label            varint length + UTF-8 bytes (display only)
- *              streams          nthreads + 1 stream blocks
+ *              workload         version >= 3 only: varint role
+ *                               (replicated|mix|pipeline), varint group
+ *                               count, then per group varint nthreads,
+ *                               u64 per-group profile fingerprint,
+ *                               varint length + label bytes. v1/v2
+ *                               files read as one replicated group —
+ *                               the homogeneous WorkloadSpec.
+ *              streams          nthreads + ngroups stream blocks
  *
  * Stream block:  varint opCount, varint byteLength, byteLength bytes.
  * Streams 0..nthreads-1 are the parallel run's per-thread op streams;
- * stream nthreads is the 1-thread sequential reference program, so a
- * trace is self-contained for speedup-stack replay (Ts and Tp both
- * re-simulate from the file).
+ * streams nthreads..nthreads+ngroups-1 are each group's 1-thread
+ * sequential reference program (one for v1/v2), so a trace is
+ * self-contained for speedup-stack replay: Tp and the per-program Ts
+ * runs the mix baseline sums all re-simulate from the file.
  *
  * Op encoding (per stream, stateful): a 1-byte OpType tag, then
  *   kCompute                    varint count
@@ -45,9 +55,12 @@
 #include <stdexcept>
 #include <string>
 
+#include <vector>
+
 #include "sched/policy.hh"
 #include "util/types.hh"
 #include "workload/op.hh"
+#include "workload/workload_spec.hh"
 
 namespace sst {
 
@@ -67,8 +80,10 @@ namespace trace {
 inline constexpr char kMagic[8] = {'S', 'S', 'T', 'T', 'R', 'A', 'C', 'E'};
 
 /** Bump on any incompatible change to the container or op encoding.
- *  v2 added the schedPolicy header field; v1 files remain readable. */
-inline constexpr std::uint32_t kTraceVersion = 2;
+ *  v2 added the schedPolicy header field; v3 the per-group workload
+ *  section + per-group baseline streams. v1/v2 files remain readable
+ *  (as homogeneous recordings). */
+inline constexpr std::uint32_t kTraceVersion = 3;
 
 /** Oldest container version the reader still accepts. */
 inline constexpr std::uint32_t kMinTraceVersion = 1;
@@ -79,18 +94,34 @@ inline constexpr std::uint32_t kMaxThreads = 4096;
 /** Canonical trace file extension. */
 inline constexpr const char *kFileSuffix = ".sstt";
 
+/** Identity of one program group of a recorded workload. */
+struct TraceGroup
+{
+    int nthreads = 0;              ///< threads the group ran with
+    std::uint64_t profileHash = 0; ///< fingerprint of the group's profile
+    std::string label;             ///< group profile label (display only)
+};
+
 /** Identity of a recorded run (everything in the header). */
 struct TraceMeta
 {
     std::uint32_t version = kTraceVersion;
     int nthreads = 0;              ///< threads of the parallel run
-    std::uint64_t profileHash = 0; ///< fingerprint of the source profile
+    std::uint64_t profileHash = 0; ///< fingerprint of the workload
     /** Scheduler policy + RNG stream the run was recorded under;
      *  replay re-simulates with both so the recorded stacks reproduce
      *  bit for bit. */
     SchedPolicy schedPolicy = SchedPolicy::kAffinityFifo;
     std::uint64_t schedSeed = 0;
     std::string label;             ///< human-readable workload label
+
+    /** How the recorded workload's groups relate (v3; earlier
+     *  containers always read as replicated). */
+    WorkloadRole role = WorkloadRole::kReplicated;
+    /** Per-group identities, in group order. The writer defaults an
+     *  empty vector to the single homogeneous group (nthreads,
+     *  profileHash, label). */
+    std::vector<TraceGroup> groups;
 };
 
 // ---- primitive coders ------------------------------------------------------

@@ -87,10 +87,62 @@ TraceReader::parse()
     meta_.label.assign(data, cur.pos, label_len);
     cur.pos += static_cast<std::size_t>(label_len);
 
+    if (meta_.version >= 3) {
+        try {
+            meta_.role = workloadRoleFromRaw(
+                static_cast<std::uint32_t>(cur.getVarint()));
+        } catch (const std::invalid_argument &e) {
+            throw TraceError(std::string("malformed trace: ") + e.what());
+        }
+        const std::uint64_t ngroups = cur.getVarint();
+        if (ngroups < 1 ||
+            ngroups > static_cast<std::uint64_t>(kMaxWorkloadGroups)) {
+            throw TraceError("malformed trace: workload group count " +
+                             std::to_string(ngroups) + " out of range");
+        }
+        int group_threads = 0;
+        for (std::uint64_t g = 0; g < ngroups; ++g) {
+            trace::TraceGroup group;
+            const std::uint64_t gthreads = cur.getVarint();
+            if (gthreads < 1 || gthreads > trace::kMaxThreads)
+                throw TraceError("malformed trace: group thread count " +
+                                 std::to_string(gthreads) +
+                                 " out of range");
+            group.nthreads = static_cast<int>(gthreads);
+            group.profileHash = cur.getU64();
+            const std::uint64_t glabel_len = cur.getVarint();
+            if (glabel_len > cur.remaining())
+                throw TraceError(
+                    "truncated trace: group label overruns the file");
+            group.label.assign(data, cur.pos, glabel_len);
+            cur.pos += static_cast<std::size_t>(glabel_len);
+            group_threads += group.nthreads;
+            meta_.groups.push_back(std::move(group));
+        }
+        if (group_threads != meta_.nthreads)
+            throw TraceError("malformed trace: group thread counts sum "
+                             "to " + std::to_string(group_threads) +
+                             ", header says " +
+                             std::to_string(meta_.nthreads));
+        if (meta_.role == WorkloadRole::kReplicated &&
+            meta_.groups.size() != 1) {
+            throw TraceError("malformed trace: replicated workload with " +
+                             std::to_string(meta_.groups.size()) +
+                             " groups");
+        }
+    } else {
+        // Pre-workload containers are homogeneous by construction: one
+        // replicated group mirroring the top-level fields.
+        meta_.role = WorkloadRole::kReplicated;
+        meta_.groups.push_back(trace::TraceGroup{
+            meta_.nthreads, meta_.profileHash, meta_.label});
+    }
+
     // Stream table: each block is (opCount, byteLength, bytes). Decode
     // every stream completely up front so any truncation or corruption
     // surfaces here as a TraceError, not mid-simulation.
-    streams_.resize(static_cast<std::size_t>(meta_.nthreads) + 1);
+    streams_.resize(static_cast<std::size_t>(meta_.nthreads) +
+                    meta_.groups.size());
     for (StreamIndex &s : streams_) {
         s.ops = cur.getVarint();
         const std::uint64_t len = cur.getVarint();
@@ -155,9 +207,15 @@ TraceReader::parallelSource(ThreadId tid) const
 }
 
 std::unique_ptr<OpSource>
-TraceReader::baselineSource() const
+TraceReader::baselineSource(int group) const
 {
-    return sourceFor(meta_.nthreads);
+    if (group < 0 || group >= ngroups()) {
+        throw TraceError(
+            "trace baseline group " + std::to_string(group) +
+            " out of range: trace has " + std::to_string(ngroups()) +
+            " program groups");
+    }
+    return sourceFor(meta_.nthreads + group);
 }
 
 void
@@ -165,6 +223,13 @@ TraceReader::requireCompatible(std::uint64_t profile_hash, int nthreads,
                                SchedPolicy policy,
                                std::uint64_t sched_seed) const
 {
+    if (meta_.groups.size() != 1) {
+        throw TraceError(
+            "trace workload mismatch: trace '" + meta_.label +
+            "' records a " + std::string(workloadRoleName(meta_.role)) +
+            " of " + std::to_string(meta_.groups.size()) +
+            " programs, replay requested a single profile");
+    }
     if (nthreads != meta_.nthreads) {
         throw TraceError(
             "trace thread-count mismatch: trace '" + meta_.label +
@@ -182,6 +247,56 @@ TraceReader::requireCompatible(std::uint64_t profile_hash, int nthreads,
         sched_seed != meta_.schedSeed) {
         // Deterministic policies ignore the seed, so only random
         // recordings are seed-specific.
+        throw TraceError(
+            "trace scheduler-seed mismatch: trace '" + meta_.label +
+            "' was recorded with --sched-seed " +
+            std::to_string(meta_.schedSeed) + ", replay requested " +
+            std::to_string(sched_seed) + " (re-record the trace)");
+    }
+}
+
+void
+TraceReader::requireCompatibleWorkload(
+    WorkloadRole role, const std::vector<trace::TraceGroup> &groups,
+    SchedPolicy policy, std::uint64_t sched_seed) const
+{
+    if (role != meta_.role) {
+        throw TraceError(
+            "trace workload-role mismatch: trace '" + meta_.label +
+            "' records a " + std::string(workloadRoleName(meta_.role)) +
+            " workload, replay requested " +
+            std::string(workloadRoleName(role)));
+    }
+    if (groups.size() != meta_.groups.size()) {
+        throw TraceError(
+            "trace workload mismatch: trace '" + meta_.label +
+            "' records " + std::to_string(meta_.groups.size()) +
+            " program groups, replay requested " +
+            std::to_string(groups.size()));
+    }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const trace::TraceGroup &want = groups[g];
+        const trace::TraceGroup &have = meta_.groups[g];
+        if (want.nthreads != have.nthreads) {
+            throw TraceError(
+                "trace thread-count mismatch in group " +
+                std::to_string(g) + " ('" + have.label +
+                "'): trace was recorded with " +
+                std::to_string(have.nthreads) + " threads, replay "
+                "requested " + std::to_string(want.nthreads));
+        }
+        if (want.profileHash != have.profileHash) {
+            throw TraceError(
+                "trace per-thread-profile mismatch in group " +
+                std::to_string(g) + ": trace '" + meta_.label +
+                "' recorded '" + have.label +
+                "' from a different profile than the requested '" +
+                want.label + "' (stale trace? re-record it)");
+        }
+    }
+    requireSchedPolicy(policy);
+    if (meta_.schedPolicy == SchedPolicy::kRandom &&
+        sched_seed != meta_.schedSeed) {
         throw TraceError(
             "trace scheduler-seed mismatch: trace '" + meta_.label +
             "' was recorded with --sched-seed " +

@@ -32,8 +32,11 @@ class TraceReader
 
     const trace::TraceMeta &meta() const { return meta_; }
 
-    /** Streams in the file: nthreads parallel + 1 baseline. */
+    /** Streams in the file: nthreads parallel + ngroups baselines. */
     int nstreams() const { return static_cast<int>(streams_.size()); }
+
+    /** Program groups of the recorded workload (1 for v1/v2 files). */
+    int ngroups() const { return static_cast<int>(meta_.groups.size()); }
 
     std::uint64_t opCount(int stream) const;
     std::uint64_t streamBytes(int stream) const;
@@ -44,18 +47,33 @@ class TraceReader
      */
     std::unique_ptr<OpSource> parallelSource(ThreadId tid) const;
 
-    /** Replay source for the sequential reference program. */
-    std::unique_ptr<OpSource> baselineSource() const;
+    /** Replay source for group @p group's sequential reference
+     *  program. Throws TraceError on an out-of-range group. */
+    std::unique_ptr<OpSource> baselineSource(int group = 0) const;
 
     /**
      * Validate that this trace can stand in for a live run of
      * @p nthreads threads of the profile hashed as @p profile_hash
-     * under scheduler @p policy with RNG stream @p sched_seed. Throws
+     * under scheduler @p policy with RNG stream @p sched_seed — the
+     * homogeneous check (also rejects multi-group recordings). Throws
      * TraceError naming the mismatched axis.
      */
     void requireCompatible(std::uint64_t profile_hash, int nthreads,
                            SchedPolicy policy,
                            std::uint64_t sched_seed) const;
+
+    /**
+     * Validate that this trace records exactly the workload described
+     * by @p role and the expected @p groups (per-group thread counts
+     * and profile fingerprints, in order) under @p policy /
+     * @p sched_seed. Throws TraceError naming the first mismatched
+     * group and axis — a recording of different per-thread profiles
+     * never silently replays.
+     */
+    void requireCompatibleWorkload(WorkloadRole role,
+                                   const std::vector<trace::TraceGroup> &groups,
+                                   SchedPolicy policy,
+                                   std::uint64_t sched_seed) const;
 
     /**
      * Validate only the scheduler-policy axis (the trace CLI's

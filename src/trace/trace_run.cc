@@ -17,6 +17,51 @@ traceProfileHash(const BenchmarkProfile &profile)
     return fnv1a64(canonical);
 }
 
+std::uint64_t
+traceWorkloadHash(const WorkloadSpec &workload)
+{
+    if (workload.isHomogeneous())
+        return traceProfileHash(workload.groups[0].profile);
+    std::string canonical;
+    canonical += "workload.role=";
+    canonical += workloadRoleName(workload.role);
+    canonical += '\n';
+    for (std::size_t g = 0; g < workload.groups.size(); ++g) {
+        canonical += "workload.group=" + std::to_string(g) + '\n';
+        canonical += "group.nthreads=" +
+                     std::to_string(workload.groups[g].nthreads) + '\n';
+        encodeProfile(canonical, workload.groups[g].profile);
+    }
+    return fnv1a64(canonical);
+}
+
+std::vector<trace::TraceGroup>
+traceGroupsOf(const WorkloadSpec &workload)
+{
+    std::vector<trace::TraceGroup> groups;
+    groups.reserve(workload.groups.size());
+    for (const WorkloadGroup &g : workload.groups) {
+        groups.push_back(trace::TraceGroup{
+            g.nthreads, traceProfileHash(g.profile), g.profile.label()});
+    }
+    return groups;
+}
+
+trace::TraceMeta
+traceMetaFor(const WorkloadSpec &workload, const SimParams &params)
+{
+    trace::TraceMeta meta;
+    meta.nthreads = workload.nthreads();
+    meta.profileHash = traceWorkloadHash(workload);
+    meta.schedPolicy = params.schedPolicy;
+    meta.schedSeed =
+        canonicalSchedSeed(params.schedPolicy, params.schedSeed);
+    meta.label = workload.label();
+    meta.role = workload.role;
+    meta.groups = traceGroupsOf(workload);
+    return meta;
+}
+
 std::string
 tracePathFor(const std::string &dir, const BenchmarkProfile &profile,
              int nthreads, std::uint64_t seed_offset, SchedPolicy policy,
@@ -46,11 +91,75 @@ tracePathFor(const std::string &dir, const BenchmarkProfile &profile,
     return path;
 }
 
+std::string
+tracePathFor(const std::string &dir, const WorkloadSpec &workload,
+             std::uint64_t seed_offset, SchedPolicy policy,
+             std::uint64_t sched_seed)
+{
+    if (workload.isHomogeneous()) {
+        return tracePathFor(dir, workload.groups[0].profile,
+                            workload.nthreads(), seed_offset, policy,
+                            sched_seed);
+    }
+    std::string path = dir;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    std::string label = workload.label();
+    for (char &c : label)
+        if (c == '/')
+            c = '_';
+    path += label;
+    path += "_t";
+    path += std::to_string(workload.nthreads());
+    if (seed_offset != 0) {
+        path += "_s";
+        path += std::to_string(seed_offset);
+    }
+    if (policy != SchedPolicy::kAffinityFifo) {
+        path += '_';
+        path += schedPolicyLabel(policy);
+        if (canonicalSchedSeed(policy, sched_seed) != 0) {
+            path += "_ss";
+            path += std::to_string(sched_seed);
+        }
+    }
+    path += trace::kFileSuffix;
+    return path;
+}
+
+void
+appendGeneratedBaseline(TraceWriter &writer,
+                        const BenchmarkProfile &profile, int group)
+{
+    // The 1-thread stream is a pure function of the profile: enumerate
+    // it directly. The bytes equal a RecordingSource capture of a live
+    // baseline run, because the simulator pulls each op exactly once.
+    ThreadProgram program(profile, 0, 1);
+    const int stream = writer.baselineStream(group);
+    for (;;) {
+        const Op op = program.nextOp();
+        writer.append(stream, op);
+        if (op.type == OpType::kEnd)
+            return;
+    }
+}
+
 SpeedupExperiment
 recordSpeedupTrace(const SimParams &params,
                    const BenchmarkProfile &profile, int nthreads,
                    const std::string &path, std::uint64_t *ops_recorded)
 {
+    return recordSpeedupTrace(
+        params, WorkloadSpec::homogeneous(profile, nthreads), path,
+        ops_recorded);
+}
+
+SpeedupExperiment
+recordSpeedupTrace(const SimParams &params, const WorkloadSpec &workload,
+                   const std::string &path, std::uint64_t *ops_recorded)
+{
+    workload.validate();
+    const int nthreads = workload.nthreads();
     if (nthreads < 1 || nthreads > static_cast<int>(trace::kMaxThreads)) {
         throw TraceError("cannot record a trace with " +
                          std::to_string(nthreads) +
@@ -58,7 +167,7 @@ recordSpeedupTrace(const SimParams &params,
                          std::to_string(trace::kMaxThreads) + ")");
     }
     // Probe the output path up front: an unwritable destination should
-    // fail in milliseconds, not after both simulations have run. Probe
+    // fail in milliseconds, not after the simulations have run. Probe
     // the temp name writeFile() publishes through, so a never-completed
     // recording leaves no file at the final path.
     {
@@ -68,45 +177,45 @@ recordSpeedupTrace(const SimParams &params,
             throw TraceError("cannot open trace file for writing: " +
                              tmp);
     }
-    trace::TraceMeta meta;
-    meta.nthreads = nthreads;
-    meta.profileHash = traceProfileHash(profile);
-    meta.schedPolicy = params.schedPolicy;
-    // Only random schedules depend on the RNG stream; canonicalize so
-    // equal-outcome recordings compare equal.
-    meta.schedSeed =
-        canonicalSchedSeed(params.schedPolicy, params.schedSeed);
-    meta.label = profile.label();
-    TraceWriter writer(std::move(meta));
+    TraceWriter writer(traceMetaFor(workload, params));
 
-    // Both runs execute exactly as in runSpeedupExperiment(); the
-    // recording shim forwards every op unchanged, so the returned
-    // experiment is the live result, not an approximation of it.
-    const int baseline_stream = writer.baselineStream();
-    const RunResult baseline = simulateSources(
-        params,
-        [&](ThreadId tid, int n) -> std::unique_ptr<OpSource> {
-            return std::make_unique<RecordingSource>(
-                std::make_unique<ThreadProgram>(profile, tid, n), writer,
-                baseline_stream);
-        },
-        1);
+    // All runs execute exactly as in runMixExperiment(); the recording
+    // shim forwards every op unchanged, so the returned experiment is
+    // the live result, not an approximation of it. Each group's
+    // 1-thread reference run records into its own baseline stream.
+    std::vector<RunResult> bases;
+    bases.reserve(workload.groups.size());
+    for (std::size_t g = 0; g < workload.groups.size(); ++g) {
+        const BenchmarkProfile &profile = workload.groups[g].profile;
+        const int stream = writer.baselineStream(static_cast<int>(g));
+        bases.push_back(simulateSources(
+            params,
+            [&](ThreadId tid, int n) -> std::unique_ptr<OpSource> {
+                return std::make_unique<RecordingSource>(
+                    std::make_unique<ThreadProgram>(profile, tid, n),
+                    writer, stream);
+            },
+            1));
+    }
+
+    const OpSourceFactory inner = workloadOpSources(workload);
+    const ThreadTopology topo = workload.topology(nthreads);
     RunResult parallel = simulateSources(
         params,
         [&](ThreadId tid, int n) -> std::unique_ptr<OpSource> {
-            return std::make_unique<RecordingSource>(
-                std::make_unique<ThreadProgram>(profile, tid, n), writer,
-                tid);
+            return std::make_unique<RecordingSource>(inner(tid, n),
+                                                     writer, tid);
         },
-        nthreads);
+        nthreads, 0, &topo);
 
     writer.writeFile(path);
     if (ops_recorded) {
         *ops_recorded = 0;
-        for (int s = 0; s <= nthreads; ++s)
+        for (int s = 0; s < nthreads + workload.ngroups(); ++s)
             *ops_recorded += writer.opCount(s);
     }
-    return assembleExperiment(profile.label(), nthreads, params, baseline,
+    return assembleExperiment(workload.label(), nthreads, params,
+                              combineGroupBaselines(bases),
                               std::move(parallel));
 }
 
@@ -123,17 +232,30 @@ replayParallel(const SimParams &params, const TraceReader &reader)
             " threads, exceeding the " + std::to_string(kMaxSimCores) +
             "-core simulator limit");
     }
+    // Rebuild the recorded workload's topology (barrier quorums,
+    // affinity hints) from the header's group table: replayed mixes
+    // and pipelines schedule exactly like their live runs.
+    std::vector<int> sizes;
+    sizes.reserve(reader.meta().groups.size());
+    for (const trace::TraceGroup &g : reader.meta().groups)
+        sizes.push_back(g.nthreads);
+    const ThreadTopology topo =
+        topologyFor(reader.meta().role, sizes, reader.meta().nthreads);
     return simulateSources(
         params,
         [&reader](ThreadId tid, int) { return reader.parallelSource(tid); },
-        reader.meta().nthreads);
+        reader.meta().nthreads, 0, &topo);
 }
 
 RunResult
-replayBaseline(const SimParams &params, const TraceReader &reader)
+replayBaseline(const SimParams &params, const TraceReader &reader,
+               int group)
 {
     return simulateSources(
-        params, [&reader](ThreadId, int) { return reader.baselineSource(); },
+        params,
+        [&reader, group](ThreadId, int) {
+            return reader.baselineSource(group);
+        },
         1);
 }
 
@@ -154,8 +276,12 @@ replaySpeedupTrace(const SimParams &params, const TraceReader &reader)
     SimParams p = params;
     p.schedPolicy = reader.meta().schedPolicy;
     p.schedSeed = reader.meta().schedSeed;
+    std::vector<RunResult> bases;
+    bases.reserve(reader.meta().groups.size());
+    for (int g = 0; g < reader.ngroups(); ++g)
+        bases.push_back(replayBaseline(p, reader, g));
     return assembleExperiment(reader.meta().label, reader.meta().nthreads,
-                              p, replayBaseline(p, reader),
+                              p, combineGroupBaselines(bases),
                               replayParallel(p, reader));
 }
 

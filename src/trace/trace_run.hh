@@ -18,6 +18,7 @@
 #include "trace/trace_reader.hh"
 #include "trace/trace_writer.hh"
 #include "workload/profile.hh"
+#include "workload/workload_spec.hh"
 
 namespace sst {
 
@@ -27,6 +28,20 @@ namespace sst {
  * so every op-stream-relevant knob participates).
  */
 std::uint64_t traceProfileHash(const BenchmarkProfile &profile);
+
+/**
+ * Content hash of a whole workload. Equals traceProfileHash() of the
+ * single profile for homogeneous specs; heterogeneous specs fold the
+ * role and every group's thread count + profile encoding.
+ */
+std::uint64_t traceWorkloadHash(const WorkloadSpec &workload);
+
+/** Per-group trace identities of @p workload (header / compat check). */
+std::vector<trace::TraceGroup> traceGroupsOf(const WorkloadSpec &workload);
+
+/** Trace header describing @p workload recorded under @p params. */
+trace::TraceMeta traceMetaFor(const WorkloadSpec &workload,
+                              const SimParams &params);
 
 /**
  * Canonical path of @p profile's @p nthreads-thread trace in @p dir.
@@ -45,6 +60,28 @@ std::string tracePathFor(const std::string &dir,
                          std::uint64_t sched_seed = 0);
 
 /**
+ * As above for a whole workload: homogeneous specs keep the historical
+ * profile naming; heterogeneous specs name the file by the workload
+ * label ("a:8+b:8_t16.sstt").
+ */
+std::string tracePathFor(const std::string &dir,
+                         const WorkloadSpec &workload,
+                         std::uint64_t seed_offset = 0,
+                         SchedPolicy policy = SchedPolicy::kAffinityFifo,
+                         std::uint64_t sched_seed = 0);
+
+/**
+ * Append group @p group's 1-thread sequential reference program to
+ * @p writer's corresponding baseline stream by pure generation — an op
+ * stream is a deterministic function of its profile, so no simulation
+ * is needed and the bytes equal what a recorded live baseline run
+ * would capture. This is how `sweep --record-dir` fills baseline
+ * streams without re-running baselines every job.
+ */
+void appendGeneratedBaseline(TraceWriter &writer,
+                             const BenchmarkProfile &profile, int group);
+
+/**
  * Run the full speedup experiment (1-thread baseline + @p nthreads-run)
  * while recording both op streams, and write the trace container to
  * @p path. Returns the live experiment — identical to what
@@ -60,13 +97,25 @@ SpeedupExperiment recordSpeedupTrace(const SimParams &params,
                                      const std::string &path,
                                      std::uint64_t *ops_recorded = nullptr);
 
-/** Replay the parallel run of @p reader (cores pinned like simulate()). */
+/**
+ * As above for a whole workload: per-group 1-thread reference runs
+ * (each recorded into its baseline stream) plus the co-scheduled
+ * parallel run, all captured into one container at @p path.
+ */
+SpeedupExperiment recordSpeedupTrace(const SimParams &params,
+                                     const WorkloadSpec &workload,
+                                     const std::string &path,
+                                     std::uint64_t *ops_recorded = nullptr);
+
+/** Replay the parallel run of @p reader (cores pinned like simulate();
+ *  the recorded workload's barrier quorums and affinity hints are
+ *  reconstructed from the header's group table). */
 RunResult replayParallel(const SimParams &params,
                          const TraceReader &reader);
 
-/** Replay the sequential reference run of @p reader. */
+/** Replay group @p group's sequential reference run of @p reader. */
 RunResult replayBaseline(const SimParams &params,
-                         const TraceReader &reader);
+                         const TraceReader &reader, int group = 0);
 
 /**
  * Re-simulate both recorded runs of the trace at @p path and assemble

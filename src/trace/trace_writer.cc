@@ -14,7 +14,21 @@ TraceWriter::TraceWriter(trace::TraceMeta meta) : meta_(std::move(meta))
                       static_cast<int>(trace::kMaxThreads),
               "TraceWriter: thread count out of range");
     meta_.version = trace::kTraceVersion;
-    streams_.resize(static_cast<std::size_t>(meta_.nthreads) + 1);
+    if (meta_.groups.empty()) {
+        // Homogeneous default: one replicated group mirroring the
+        // top-level fields, so pre-WorkloadSpec call sites need not
+        // know about groups.
+        meta_.groups.push_back(trace::TraceGroup{
+            meta_.nthreads, meta_.profileHash, meta_.label});
+        meta_.role = WorkloadRole::kReplicated;
+    }
+    int group_threads = 0;
+    for (const trace::TraceGroup &g : meta_.groups)
+        group_threads += g.nthreads;
+    sstAssert(group_threads == meta_.nthreads,
+              "TraceWriter: group thread counts must sum to nthreads");
+    streams_.resize(static_cast<std::size_t>(meta_.nthreads) +
+                    meta_.groups.size());
 }
 
 void
@@ -49,6 +63,14 @@ TraceWriter::serialize() const
     trace::putU64(out, meta_.schedSeed);
     trace::putVarint(out, meta_.label.size());
     out += meta_.label;
+    trace::putVarint(out, static_cast<std::uint64_t>(meta_.role));
+    trace::putVarint(out, meta_.groups.size());
+    for (const trace::TraceGroup &g : meta_.groups) {
+        trace::putVarint(out, static_cast<std::uint64_t>(g.nthreads));
+        trace::putU64(out, g.profileHash);
+        trace::putVarint(out, g.label.size());
+        out += g.label;
+    }
     for (const trace::OpEncoder &enc : streams_) {
         trace::putVarint(out, enc.opCount);
         trace::putVarint(out, enc.bytes.size());

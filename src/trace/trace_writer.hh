@@ -22,7 +22,9 @@ namespace sst {
 
 /**
  * Builds one trace file: meta.nthreads parallel streams (indices
- * 0..nthreads-1) plus the sequential baseline stream (index nthreads).
+ * 0..nthreads-1) plus one sequential baseline stream per workload
+ * group (indices nthreads..nthreads+ngroups-1). The constructor
+ * defaults an empty meta.groups to the single homogeneous group.
  */
 class TraceWriter
 {
@@ -31,8 +33,12 @@ class TraceWriter
 
     const trace::TraceMeta &meta() const { return meta_; }
 
-    /** Stream index of the 1-thread sequential reference program. */
-    int baselineStream() const { return meta_.nthreads; }
+    /** Stream index of group @p group's 1-thread reference program. */
+    int
+    baselineStream(int group = 0) const
+    {
+        return meta_.nthreads + group;
+    }
 
     /** Append one op to stream @p stream (in stream order). */
     void append(int stream, const Op &op);

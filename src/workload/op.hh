@@ -116,41 +116,83 @@ struct Op
 inline constexpr BarrierId kWarmupBarrierId = 1'000'000;
 
 /**
+ * Stride between the sync-id namespaces of a heterogeneous workload's
+ * program groups: group g's lock/barrier ids are its local ids plus
+ * g * kGroupSyncStride, so two co-running programs can never alias each
+ * other's primitives. The stride exceeds kWarmupBarrierId, which keeps
+ * `id % kGroupSyncStride == kWarmupBarrierId` a valid warmup-barrier
+ * test for every group (including group 0, whose ids are the plain
+ * local ids — the homogeneous encoding, unchanged).
+ */
+inline constexpr int kGroupSyncStride = 0x20'0000; // 2'097'152
+
+/** True when @p id is some group's pre-RoI warmup barrier. */
+constexpr bool
+isWarmupBarrier(BarrierId id)
+{
+    return id % kGroupSyncStride == kWarmupBarrierId;
+}
+
+/** Most program groups one workload may co-schedule (mix programs or
+ *  pipeline stages); bounds the group address/sync namespaces. */
+inline constexpr int kMaxWorkloadGroups = 8;
+
+/**
  * Fixed layout of the simulated physical address space. Regions are far
  * apart so they never alias in any cache configuration we simulate.
+ * Group-0 (and homogeneous) addresses are the historical layout,
+ * bit-for-bit; ids/regions of additional workload groups live in a
+ * disjoint high range far above the per-thread private regions.
  */
 namespace addrmap {
 
 /** Base of thread @p tid's private data region (256MB apart, above the
- *  4GB line so they can never alias the shared/lock/barrier regions). */
+ *  4GB line so they can never alias the shared/lock/barrier regions).
+ *  Threads are numbered globally across a workload's groups, so private
+ *  working sets of co-running programs are disjoint by construction. */
 constexpr Addr
 privateBase(ThreadId tid)
 {
     return 0x1'0000'0000ULL + static_cast<Addr>(tid) * 0x1000'0000ULL;
 }
 
-/** Base of the application-wide shared data region. */
+/** Base of the application-wide shared data region (group 0). */
 inline constexpr Addr kSharedBase = 0x8000'0000ULL;
+
+/** Base of workload group @p group's shared data region (64GB apart). */
+constexpr Addr
+groupSharedBase(int group)
+{
+    return group == 0 ? kSharedBase
+                      : 0x6000'0000'0000ULL +
+                            static_cast<Addr>(group) * 0x10'0000'0000ULL;
+}
 
 /** Base of the lock-protected shared data region for lock @p id. */
 constexpr Addr
 lockDataBase(LockId id)
 {
-    return 0xA000'0000ULL + static_cast<Addr>(id) * 4096;
+    return id < kGroupSyncStride
+               ? 0xA000'0000ULL + static_cast<Addr>(id) * 4096
+               : 0x6800'0000'0000ULL + static_cast<Addr>(id) * 4096;
 }
 
 /** Address of the lock word for lock @p id (one cache line each). */
 constexpr Addr
 lockWord(LockId id)
 {
-    return 0xF000'0000ULL + static_cast<Addr>(id) * kLineBytes;
+    return id < kGroupSyncStride
+               ? 0xF000'0000ULL + static_cast<Addr>(id) * kLineBytes
+               : 0x7000'0000'0000ULL + static_cast<Addr>(id) * kLineBytes;
 }
 
 /** Address of the barrier word for barrier @p id. */
 constexpr Addr
 barrierWord(BarrierId id)
 {
-    return 0xF800'0000ULL + static_cast<Addr>(id) * kLineBytes;
+    return id < kGroupSyncStride
+               ? 0xF800'0000ULL + static_cast<Addr>(id) * kLineBytes
+               : 0x7800'0000'0000ULL + static_cast<Addr>(id) * kLineBytes;
 }
 
 /** Synthetic PC of the spin-loop load polling lock @p id. */

@@ -47,8 +47,9 @@ ThreadProgram::activeThreads(const BenchmarkProfile &p, int nthreads,
 }
 
 ThreadProgram::ThreadProgram(const BenchmarkProfile &profile, ThreadId tid,
-                             int nthreads)
-    : prof_(profile), tid_(tid), nthreads_(nthreads),
+                             int nthreads, const ThreadScope &scope)
+    : prof_(profile), tid_(tid), nthreads_(nthreads), scope_(scope),
+      dataTid_(scope.dataTid == kInvalidId ? tid : scope.dataTid),
       rng_(mix64(profile.seed, 0x7EAD, static_cast<std::uint64_t>(tid)))
 {
     sstAssert(nthreads >= 1, "ThreadProgram needs nthreads >= 1");
@@ -147,7 +148,7 @@ ThreadProgram::refill()
             kLineBytes;
         for (std::uint64_t l = 0; l < lines; ++l) {
             buf_.push_back(Op::load(
-                addrmap::privateBase(tid_) + l * kLineBytes, 0x30000));
+                addrmap::privateBase(dataTid_) + l * kLineBytes, 0x30000));
         }
         // Re-touch the hot window last so it is MRU when measurement
         // starts; otherwise the LRU sweep order would leave exactly the
@@ -162,7 +163,8 @@ ThreadProgram::refill()
         if (priv_hot < lines) {
             for (std::uint64_t l = 0; l < priv_hot; ++l) {
                 buf_.push_back(Op::load(
-                    addrmap::privateBase(tid_) + l * kLineBytes, 0x30001));
+                    addrmap::privateBase(dataTid_) + l * kLineBytes,
+                    0x30001));
             }
         }
         // Also sweep the initial shared hot window so steady-state
@@ -174,7 +176,7 @@ ThreadProgram::refill()
         if (prof_.sharedFrac > 0.0 && hot > 0) {
             for (std::uint64_t l = 0; l < hot / kLineBytes; ++l) {
                 buf_.push_back(Op::load(
-                    addrmap::kSharedBase + l * kLineBytes, 0x30010));
+                    scope_.sharedBase + l * kLineBytes, 0x30010));
             }
         }
         // Lock-protected data regions are shared too: sweep them so CS
@@ -182,11 +184,14 @@ ThreadProgram::refill()
         for (int lk = 0; lk < prof_.numLocks; ++lk) {
             for (Addr l = 0; l < 4096 / kLineBytes; ++l) {
                 buf_.push_back(Op::load(
-                    addrmap::lockDataBase(lk) + l * kLineBytes, 0x30020));
+                    addrmap::lockDataBase(lk + scope_.lockIdOffset) +
+                        l * kLineBytes,
+                    0x30020));
             }
         }
-        if (nthreads_ > 1)
-            buf_.push_back(Op::barrier(kWarmupBarrierId));
+        if (parallelMode())
+            buf_.push_back(Op::barrier(kWarmupBarrierId +
+                                       scope_.barrierIdOffset));
         buf_.push_back(Op::roiBegin());
         return;
     }
@@ -211,8 +216,9 @@ ThreadProgram::refill()
         const bool last = (phase_ == phases - 1);
         ++phase_;
         phaseInitDone_ = false;
-        if (nthreads_ > 1 && (!last || prof_.finalBarrier)) {
-            buf_.push_back(Op::barrier(phase_ - 1));
+        if (parallelMode() && (!last || prof_.finalBarrier)) {
+            buf_.push_back(Op::barrier(phase_ - 1 +
+                                       scope_.barrierIdOffset));
             return;
         }
     }
@@ -225,7 +231,7 @@ ThreadProgram::emitIteration()
     // extra instructions for work division, communication and redundant
     // computation, per Section 3.5 of the paper.
     std::uint32_t overhead_instr = 4;
-    if (nthreads_ > 1) {
+    if (parallelMode()) {
         overhead_instr += static_cast<std::uint32_t>(std::lround(
             prof_.parOverheadFrac *
             (prof_.computePerIter + prof_.memPerIter)));
@@ -247,9 +253,8 @@ ThreadProgram::emitIteration()
     // probability depends on the region the reference targets.
     for (int m = 0; m < prof_.memPerIter; ++m) {
         const Addr addr = pickDataAddr();
-        const bool shared =
-            addr >= addrmap::kSharedBase &&
-            addr < addrmap::kSharedBase + prof_.sharedBytes;
+        const bool shared = addr >= scope_.sharedBase &&
+                            addr < scope_.sharedBase + prof_.sharedBytes;
         emitMemRef(rng_.chance(shared ? prof_.sharedStoreFrac
                                       : prof_.storeFrac),
                    addr);
@@ -265,8 +270,8 @@ ThreadProgram::emitIteration()
     if (prof_.numLocks > 0 && rng_.chance(prof_.lockFreq)) {
         const LockId lock = static_cast<LockId>(
             rng_.below(static_cast<std::uint64_t>(prof_.numLocks)));
-        if (nthreads_ > 1) {
-            buf_.push_back(Op::lockAcquire(lock));
+        if (parallelMode()) {
+            buf_.push_back(Op::lockAcquire(lock + scope_.lockIdOffset));
             instrEmitted_ += kLockOpInstrs;
         }
         if (prof_.csCompute > 0) {
@@ -276,8 +281,8 @@ ThreadProgram::emitIteration()
         }
         for (int m = 0; m < prof_.csMem; ++m)
             emitMemRef(rng_.chance(0.5), pickCsAddr(lock));
-        if (nthreads_ > 1) {
-            buf_.push_back(Op::lockRelease(lock));
+        if (parallelMode()) {
+            buf_.push_back(Op::lockRelease(lock + scope_.lockIdOffset));
             instrEmitted_ += kLockOpInstrs;
         }
     }
@@ -317,9 +322,9 @@ ThreadProgram::pickDataAddr()
                               prof_.sharedWindowPhases)
                     : 0;
             const std::uint64_t base = (window * hot) % span;
-            return addrmap::kSharedBase + base + rng_.below(hot);
+            return scope_.sharedBase + base + rng_.below(hot);
         }
-        return addrmap::kSharedBase + rng_.below(prof_.sharedBytes);
+        return scope_.sharedBase + rng_.below(prof_.sharedBytes);
     }
     // Private region. In the sequential run the single thread owns region
     // 0, which is also what thread 0 of the parallel run uses; regions are
@@ -334,22 +339,23 @@ ThreadProgram::pickDataAddr()
 
     if (!rng_.chance(prof_.privateHotFrac)) {
         // Cold tail: a far reference into the full region.
-        return addrmap::privateBase(tid_) + rng_.below(size);
+        return addrmap::privateBase(dataTid_) + rng_.below(size);
     }
     if (rng_.chance(prof_.streamFrac)) {
         // Sequential sweep through the hot window with wraparound.
-        const Addr a = addrmap::privateBase(tid_) +
+        const Addr a = addrmap::privateBase(dataTid_) +
                        (streamCursor_ % hot);
         streamCursor_ += kLineBytes;
         return a;
     }
-    return addrmap::privateBase(tid_) + rng_.below(hot);
+    return addrmap::privateBase(dataTid_) + rng_.below(hot);
 }
 
 Addr
 ThreadProgram::pickCsAddr(LockId lock)
 {
-    return addrmap::lockDataBase(lock) + rng_.below(4096);
+    return addrmap::lockDataBase(lock + scope_.lockIdOffset) +
+           rng_.below(4096);
 }
 
 } // namespace sst

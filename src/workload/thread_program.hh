@@ -29,12 +29,40 @@
 
 namespace sst {
 
+/**
+ * Placement of one thread's program inside a (possibly heterogeneous)
+ * workload. The defaults reproduce the historical homogeneous stream
+ * bit for bit; heterogeneous workloads (mixes, pipelines) scope each
+ * group into disjoint data regions and sync-id namespaces:
+ *
+ *  - dataTid: the *global* thread id the private working set is based
+ *    at (kInvalidId = the constructor's tid). Groups construct their
+ *    programs with group-local tids for work division but global data
+ *    tids, so private regions never collide across groups.
+ *  - sharedBase: base of the program's shared region (groups get
+ *    disjoint regions via addrmap::groupSharedBase).
+ *  - lockIdOffset / barrierIdOffset: added to every emitted sync id
+ *    (multiples of kGroupSyncStride). Mixes offset both; pipelines
+ *    offset locks only, so phase barriers span all stages.
+ *  - forceParallel: emit the parallel program (sync ops, overhead)
+ *    even when the group has one thread — a 1-thread pipeline stage
+ *    still takes part in a parallel run's barriers.
+ */
+struct ThreadScope
+{
+    ThreadId dataTid = kInvalidId;
+    Addr sharedBase = addrmap::kSharedBase;
+    int lockIdOffset = 0;
+    int barrierIdOffset = 0;
+    bool forceParallel = false;
+};
+
 /** Deterministic generator of one thread's op stream. */
 class ThreadProgram : public OpSource
 {
   public:
     ThreadProgram(const BenchmarkProfile &profile, ThreadId tid,
-                  int nthreads);
+                  int nthreads, const ThreadScope &scope = ThreadScope{});
 
     /** Next op of the stream; returns Op::end() forever once finished. */
     Op nextOp() override;
@@ -73,9 +101,14 @@ class ThreadProgram : public OpSource
     /** Iterations assigned to this thread in @p phase. */
     std::uint64_t itersInPhase(int phase) const;
 
+    /** Parallel program mode: sync ops + parallelization overhead. */
+    bool parallelMode() const { return nthreads_ > 1 || scope_.forceParallel; }
+
     const BenchmarkProfile &prof_;
     ThreadId tid_;
     int nthreads_;
+    ThreadScope scope_;
+    ThreadId dataTid_; ///< resolved scope_.dataTid (private region base)
     Rng rng_;
 
     std::vector<Op> buf_;

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * WorkloadSpec: the per-thread workload description every layer of the
+ * stack consumes. A workload is an ordered list of (BenchmarkProfile,
+ * thread count) groups plus a role describing how the groups relate:
+ *
+ *  - kReplicated: one program, every thread runs it — the historical
+ *    homogeneous configuration. WorkloadSpec::homogeneous(p, n)
+ *    reproduces the pre-WorkloadSpec stack bit for bit.
+ *  - kMix: independent programs co-scheduled on one machine (the
+ *    paper's Figure 8 multi-program LLC-interference setting). Groups
+ *    are fully disjoint: private working sets, shared regions, lock
+ *    and barrier namespaces never overlap, so programs interact only
+ *    through the shared hardware (LLC, bus, DRAM, scheduler).
+ *  - kPipeline: heterogeneous stages of one program (the paper's
+ *    Figure 7 ferret). Stages keep disjoint data and locks but share
+ *    one global barrier namespace: every phase barrier spans all
+ *    threads, so stage imbalance surfaces as synchronization time —
+ *    the slowest stage paces the pipeline.
+ *
+ * The per-thread baseline semantics follow the paper's per-program
+ * normalization: a heterogeneous workload's single-threaded reference
+ * time Ts is the *sum* of each program's own 1-thread run, so speedup
+ * stacks of mixes remain normalized per program.
+ */
+
+#ifndef SST_WORKLOAD_WORKLOAD_SPEC_HH
+#define SST_WORKLOAD_WORKLOAD_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+#include "workload/op_source.hh"
+#include "workload/profile.hh"
+
+namespace sst {
+
+/** How a workload's program groups relate to each other. */
+enum class WorkloadRole : std::uint8_t {
+    kReplicated = 0, ///< one program, all threads (homogeneous)
+    kMix = 1,        ///< independent co-running programs
+    kPipeline = 2,   ///< stages of one program, globally barrier-coupled
+};
+
+/** Stable lowercase label of @p role ("replicated", "mix", "pipeline"). */
+const char *workloadRoleName(WorkloadRole role);
+
+/** Validate a role decoded from an external source (trace header). */
+WorkloadRole workloadRoleFromRaw(std::uint32_t raw);
+
+/** One program group: a profile and the threads that run it. */
+struct WorkloadGroup
+{
+    BenchmarkProfile profile;
+    int nthreads = 1;
+};
+
+/**
+ * Per-thread topology the simulator needs beyond the op streams:
+ * barrier quorums (how many threads a barrier waits for — the arriving
+ * thread's group for mixes, everyone for pipelines) and optional
+ * scheduler affinity hints (pipeline stages prefer a stable core
+ * range so stage data stays L1-resident).
+ */
+struct ThreadTopology
+{
+    /** Barrier quorum per thread; empty means "all threads". */
+    std::vector<int> barrierQuorum;
+
+    /** Preferred core per thread; empty means no hints. */
+    std::vector<CoreId> affinityHint;
+};
+
+/** The per-thread workload description (see file comment). */
+struct WorkloadSpec
+{
+    std::vector<WorkloadGroup> groups;
+    WorkloadRole role = WorkloadRole::kReplicated;
+
+    /** Optional display name (registry mixes keep their label). */
+    std::string name;
+
+    /** The historical homogeneous configuration: @p nthreads threads
+     *  all running @p profile. Bit-identical to the pre-WorkloadSpec
+     *  stack everywhere (op streams, fingerprints, traces, CSV). */
+    static WorkloadSpec homogeneous(const BenchmarkProfile &profile,
+                                    int nthreads);
+
+    /** Independent co-running programs. A single group collapses to
+     *  the homogeneous configuration. */
+    static WorkloadSpec mix(std::vector<WorkloadGroup> groups);
+
+    /** Barrier-coupled heterogeneous stages (>= 2 of them). */
+    static WorkloadSpec pipeline(std::vector<WorkloadGroup> stages);
+
+    /** Total software threads across all groups. */
+    int nthreads() const;
+
+    int ngroups() const { return static_cast<int>(groups.size()); }
+
+    /** One replicated group: the bit-compatible homogeneous path. */
+    bool
+    isHomogeneous() const
+    {
+        return role == WorkloadRole::kReplicated && groups.size() == 1;
+    }
+
+    /** Group index of global thread @p tid (groups are contiguous). */
+    int groupOfThread(ThreadId tid) const;
+
+    /** Profile global thread @p tid runs. */
+    const BenchmarkProfile &profileOfThread(ThreadId tid) const;
+
+    /**
+     * Display label: the profile label for homogeneous workloads
+     * (unchanged CSV/table output), the registry name when set, else
+     * the canonical inline descriptor ("a:8+b:8", "s1:1>s2:2").
+     */
+    std::string label() const;
+
+    /** Canonical inline descriptor, ignoring `name` ("a:8+b:8"). */
+    std::string descriptor() const;
+
+    /**
+     * Structural validation: at least one group, positive thread
+     * counts, the group-count cap, one group iff replicated, and equal
+     * stage phase counts for pipelines (stages barrier-align every
+     * phase). Throws std::invalid_argument.
+     */
+    void validate() const;
+
+    /** Per-thread quorums and affinity hints for a @p ncores machine. */
+    ThreadTopology topology(int ncores) const;
+};
+
+/**
+ * Per-thread quorums/hints from the topology-relevant subset of a
+ * workload (role + group sizes) — what a trace header retains.
+ */
+ThreadTopology topologyFor(WorkloadRole role,
+                           const std::vector<int> &group_sizes,
+                           int ncores);
+
+/**
+ * Op-source factory for @p spec's threads: each thread runs a
+ * ThreadProgram of its group's profile, scoped so groups never share
+ * data or sync primitives (see ThreadScope). Owns a copy of the spec,
+ * so the factory outlives the caller's argument. For homogeneous specs
+ * the produced streams are bit-identical to the historical
+ * ThreadProgram(profile, tid, nthreads) streams.
+ */
+OpSourceFactory workloadOpSources(const WorkloadSpec &spec);
+
+} // namespace sst
+
+#endif // SST_WORKLOAD_WORKLOAD_SPEC_HH

@@ -26,10 +26,7 @@ namespace {
 JobSpec
 makeJob(const BenchmarkProfile &profile, int nthreads)
 {
-    JobSpec spec;
-    spec.profile = profile;
-    spec.nthreads = nthreads;
-    return spec;
+    return JobSpec::forProfile(profile, nthreads);
 }
 
 /** A small mixed batch exercising compute, locks, barriers, sharing. */
@@ -110,7 +107,7 @@ TEST(Fingerprint, SensitiveToEveryJobAxis)
     const std::uint64_t h0 = fingerprintJob(base).hash;
 
     JobSpec t = base;
-    t.nthreads = 8;
+    t.workload.groups[0].nthreads = 8;
     EXPECT_NE(fingerprintJob(t).hash, h0);
 
     JobSpec p = base;
@@ -122,7 +119,7 @@ TEST(Fingerprint, SensitiveToEveryJobAxis)
     EXPECT_NE(fingerprintJob(s).hash, h0);
 
     JobSpec w = base;
-    w.profile.totalIters += 1;
+    w.workload.groups[0].profile.totalIters += 1;
     EXPECT_NE(fingerprintJob(w).hash, h0);
 }
 
@@ -130,7 +127,7 @@ TEST(Fingerprint, BaselineSharedAcrossThreadCounts)
 {
     const JobSpec a = makeJob(test::computeOnlyProfile(), 2);
     JobSpec b = a;
-    b.nthreads = 16;
+    b.workload.groups[0].nthreads = 16;
     EXPECT_EQ(fingerprintBaseline(a).canonical,
               fingerprintBaseline(b).canonical);
     EXPECT_NE(fingerprintJob(a).hash, fingerprintJob(b).hash);
@@ -394,13 +391,13 @@ TEST(Sweep, ExpandGridIsProfileMajorCrossProduct)
 
     const std::vector<JobSpec> jobs = expandGrid(grid);
     ASSERT_EQ(jobs.size(), 8u);
-    EXPECT_EQ(jobs[0].profile.label(), "cholesky");
-    EXPECT_EQ(jobs[3].profile.label(), "cholesky");
-    EXPECT_EQ(jobs[4].profile.label(), "radix");
-    EXPECT_EQ(jobs[0].nthreads, 2);
+    EXPECT_EQ(jobs[0].label(), "cholesky");
+    EXPECT_EQ(jobs[3].label(), "cholesky");
+    EXPECT_EQ(jobs[4].label(), "radix");
+    EXPECT_EQ(jobs[0].nthreads(), 2);
     EXPECT_EQ(jobs[0].params.cache.llcBytes, 1u << 20);
     EXPECT_EQ(jobs[1].params.cache.llcBytes, 2u << 20);
-    EXPECT_EQ(jobs[2].nthreads, 4);
+    EXPECT_EQ(jobs[2].nthreads(), 4);
 }
 
 TEST(Sweep, ExpandGridRejectsUnknownLabel)
@@ -416,8 +413,8 @@ TEST(Sweep, ExpandGridAcceptsBareNamesLikeProfileByLabel)
     grid.profiles = {"facesim"}; // bare name, no _small/_medium suffix
     const std::vector<JobSpec> jobs = expandGrid(grid);
     ASSERT_EQ(jobs.size(), 1u);
-    EXPECT_EQ(jobs[0].profile.name, "facesim");
-    EXPECT_EQ(jobs[0].profile.label(), profileByLabel("facesim").label());
+    EXPECT_EQ(jobs[0].workload.groups[0].profile.name, "facesim");
+    EXPECT_EQ(jobs[0].label(), profileByLabel("facesim").label());
 }
 
 TEST(Sweep, ListParsers)

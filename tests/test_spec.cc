@@ -277,11 +277,13 @@ TEST(Registries, SchedulerRegistryOrderMatchesEnum)
 TEST(Registries, OpSourceRegistryListsFrontends)
 {
     const auto &names = opSourceRegistry().names();
-    ASSERT_EQ(names.size(), 2u);
+    ASSERT_EQ(names.size(), 3u);
     EXPECT_EQ(names[0], "program");
     EXPECT_EQ(names[1], "trace");
+    EXPECT_EQ(names[2], "pipeline");
     EXPECT_TRUE(opSourceRegistry().at("trace").needsTraceDir);
     EXPECT_FALSE(opSourceRegistry().at("program").needsTraceDir);
+    EXPECT_FALSE(opSourceRegistry().at("pipeline").needsTraceDir);
 }
 
 TEST(Registries, UnknownLabelsListValidNamesEverywhere)
@@ -370,7 +372,7 @@ TEST(Spec, CoresAxisExpandsInnermost)
                                  "cores = 2, 4\n");
     const std::vector<JobSpec> jobs = expandGrid(specGrid(s));
     ASSERT_EQ(jobs.size(), 2u);
-    EXPECT_EQ(jobs[0].nthreads, 16);
+    EXPECT_EQ(jobs[0].nthreads(), 16);
     EXPECT_EQ(jobs[0].ncores, 2);
     EXPECT_EQ(jobs[1].ncores, 4);
     EXPECT_EQ(jobs[0].ncoresEffective(), 2);
@@ -378,9 +380,7 @@ TEST(Spec, CoresAxisExpandsInnermost)
 
 TEST(Fingerprint, SensitiveToCoresAxis)
 {
-    JobSpec a;
-    a.profile = test::computeOnlyProfile();
-    a.nthreads = 4;
+    JobSpec a = JobSpec::forProfile(test::computeOnlyProfile(), 4);
     JobSpec b = a;
     b.ncores = 2;
     EXPECT_NE(fingerprintJob(a).hash, fingerprintJob(b).hash);
@@ -395,30 +395,27 @@ TEST(Fingerprint, SensitiveToCoresAxis)
 
 TEST(Driver, OversubscribedJobMatchesDirectRun)
 {
-    JobSpec spec;
-    spec.profile = test::barrierHeavyProfile();
-    spec.nthreads = 4;
+    JobSpec spec = JobSpec::forProfile(test::barrierHeavyProfile(), 4);
     spec.ncores = 2;
     const std::vector<JobResult> results =
         runExperimentBatch({spec}, DriverOptions{});
     ASSERT_TRUE(results[0].ok()) << results[0].error;
 
     const SpeedupExperiment direct = runSpeedupExperiment(
-        spec.params, spec.profile, spec.nthreads, nullptr, spec.ncores);
+        spec.params, spec.workload.groups[0].profile, spec.nthreads(),
+        nullptr, spec.ncores);
     EXPECT_EQ(results[0].exp.ts, direct.ts);
     EXPECT_EQ(results[0].exp.tp, direct.tp);
     EXPECT_EQ(results[0].exp.actualSpeedup, direct.actualSpeedup);
     // Time-sharing 4 threads on 2 cores must cost time vs 4 cores.
-    const SpeedupExperiment full =
-        runSpeedupExperiment(spec.params, spec.profile, 4);
+    const SpeedupExperiment full = runSpeedupExperiment(
+        spec.params, spec.workload.groups[0].profile, 4);
     EXPECT_GT(direct.tp, full.tp);
 }
 
 TEST(Driver, MoreCoresThanThreadsRejected)
 {
-    JobSpec spec;
-    spec.profile = test::computeOnlyProfile();
-    spec.nthreads = 2;
+    JobSpec spec = JobSpec::forProfile(test::computeOnlyProfile(), 2);
     spec.ncores = 4;
     const std::vector<JobResult> results =
         runExperimentBatch({spec}, DriverOptions{});

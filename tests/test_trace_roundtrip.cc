@@ -152,10 +152,7 @@ TEST(TraceRoundTrip, FftMatchesLiveBitForBit)
 JobSpec
 makeJob(const BenchmarkProfile &profile, int nthreads)
 {
-    JobSpec spec;
-    spec.profile = profile;
-    spec.nthreads = nthreads;
-    return spec;
+    return JobSpec::forProfile(profile, nthreads);
 }
 
 TEST(DriverTrace, BatchReplaysFromTraceDirAndMatchesLive)
@@ -168,8 +165,9 @@ TEST(DriverTrace, BatchReplaysFromTraceDirAndMatchesLive)
 
     const SimParams params;
     for (const JobSpec &s : specs) {
-        recordSpeedupTrace(params, s.profile, s.nthreads,
-                           tracePathFor(dir, s.profile, s.nthreads));
+        const BenchmarkProfile &profile = s.workload.groups[0].profile;
+        recordSpeedupTrace(params, profile, s.nthreads(),
+                           tracePathFor(dir, profile, s.nthreads()));
     }
 
     DriverOptions live;
