@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare a perf_engine run against the checked-in baseline.
+
+Two kinds of check, per (ncores, nthreads) config:
+
+* determinism: `events`, `sim_cycles` and `nthreads` must match the
+  baseline EXACTLY. The simulator is deterministic — a drift here is a
+  behavioural change that must be reviewed (and, if intended, the
+  baseline regenerated with --update), never a flaky perf blip.
+* throughput: `events_per_sec` must be within --tolerance (default 15%)
+  of the baseline. Only a slowdown fails; faster is fine (and worth
+  refreshing the baseline for, so future regressions are caught from
+  the new level).
+
+Usage:
+    check_perf.py --baseline tests/data/BENCH_engine.json \
+                  --current BENCH_engine.json [--tolerance 0.15]
+    check_perf.py --update --baseline ... --current ...   # refresh
+
+Exit codes: 0 ok, 1 regression/mismatch, 2 bad input.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if data.get("bench") != "engine_event_loop" or "configs" not in data:
+        print(f"error: {path} is not a perf_engine report", file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def by_cores(report):
+    return {cfg["ncores"]: cfg for cfg in report["configs"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed events_per_sec slowdown (default 0.15)")
+    ap.add_argument("--update", action="store_true",
+                    help="copy --current over --baseline and exit")
+    args = ap.parse_args()
+
+    if args.update:
+        load(args.current)  # refuse to install garbage as the baseline
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.current} -> {args.baseline}")
+        return 0
+
+    base = by_cores(load(args.baseline))
+    cur = by_cores(load(args.current))
+
+    failures = []
+    for ncores, b in sorted(base.items()):
+        c = cur.get(ncores)
+        if c is None:
+            failures.append(f"ncores={ncores}: missing from current run")
+            continue
+        for key in ("nthreads", "events", "sim_cycles"):
+            if c.get(key) != b.get(key):
+                failures.append(
+                    f"ncores={ncores}: {key} drifted "
+                    f"(baseline {b.get(key)}, current {c.get(key)}) — "
+                    f"deterministic counters must match exactly")
+        floor = b["events_per_sec"] * (1.0 - args.tolerance)
+        ratio = c["events_per_sec"] / b["events_per_sec"]
+        status = "ok" if c["events_per_sec"] >= floor else "REGRESSION"
+        print(f"ncores={ncores}: {c['events_per_sec']:,.0f} ev/s vs "
+              f"baseline {b['events_per_sec']:,.0f} "
+              f"({ratio:.2%}) {status}")
+        if c["events_per_sec"] < floor:
+            failures.append(
+                f"ncores={ncores}: events_per_sec "
+                f"{c['events_per_sec']:,.0f} is below the allowed floor "
+                f"{floor:,.0f} ({ratio:.2%} of baseline, tolerance "
+                f"{args.tolerance:.0%})")
+    for ncores in sorted(set(cur) - set(base)):
+        print(f"ncores={ncores}: new config (not in baseline), skipped")
+
+    if failures:
+        print("\nperf check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        print("(intended change? regenerate with --update)",
+              file=sys.stderr)
+        return 1
+    print("perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

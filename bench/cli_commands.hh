@@ -29,6 +29,18 @@ int runMain(int argc, char **argv, int first);
 /** `sst list profiles|scheds|frontends`: enumerate the registries. */
 int listMain(int argc, char **argv, int first);
 
+/** `sst serve`: run the persistent sweep service (src/serve/). */
+int serveMain(int argc, char **argv, int first);
+
+/** `sst worker --connect`: lease and execute jobs from a server. */
+int workerMain(int argc, char **argv, int first);
+
+/** `sst submit`: client for a running server (submit/results/...). */
+int submitMain(int argc, char **argv, int first);
+
+/** `sst --version`: print every persisted-format version. */
+int versionMain();
+
 } // namespace cli
 } // namespace sst
 

@@ -6,10 +6,13 @@
  *   sst sweep --profiles all --threads 16      flag-driven grids
  *   sst trace record|replay|info               op-trace workflows
  *   sst list profiles|scheds|frontends         enumerate the registries
+ *   sst serve / worker / submit                persistent sweep service
  *
  * `sweep` and `trace` also exist as standalone compatibility binaries;
- * all three share one implementation per command (bench/cli_commands.cc)
- * so behaviour cannot drift between entry points.
+ * all commands share one implementation each (bench/cli_commands.cc)
+ * so behaviour cannot drift between entry points. The dispatcher is
+ * table-driven: usage text and the unknown-command error enumerate the
+ * same table, so a new command cannot be half-registered.
  */
 
 #include <cstdio>
@@ -19,16 +22,38 @@
 
 namespace {
 
+struct Command
+{
+    const char *name;
+    const char *description;
+    int (*run)(int argc, char **argv, int first);
+};
+
+constexpr Command kCommands[] = {
+    {"run", "execute a declarative experiment spec file",
+     sst::cli::runMain},
+    {"sweep", "express an experiment grid with flags",
+     sst::cli::sweepMain},
+    {"trace", "record / replay / inspect binary op traces",
+     sst::cli::traceMain},
+    {"list", "enumerate registered profiles, scheds, frontends, mixes",
+     sst::cli::listMain},
+    {"serve", "run the persistent sweep service", sst::cli::serveMain},
+    {"worker", "lease and execute jobs from a server",
+     sst::cli::workerMain},
+    {"submit", "submit campaigns / fetch results from a server",
+     sst::cli::submitMain},
+};
+
 void
 usage()
 {
-    std::printf(
-        "usage: sst <command> [options]\n"
-        "  run    execute a declarative experiment spec file\n"
-        "  sweep  express an experiment grid with flags\n"
-        "  trace  record / replay / inspect binary op traces\n"
-        "  list   enumerate registered profiles, scheds, frontends\n"
-        "`sst <command> --help` shows the command's options\n");
+    std::printf("usage: sst <command> [options]\n");
+    for (const Command &c : kCommands)
+        std::printf("  %-7s %s\n", c.name, c.description);
+    std::printf("`sst <command> --help` shows the command's options;\n"
+                "`sst --version` prints every persisted-format "
+                "version\n");
 }
 
 } // namespace
@@ -41,18 +66,15 @@ main(int argc, char **argv)
         return 1;
     }
     const std::string cmd = argv[1];
-    if (cmd == "run")
-        return sst::cli::runMain(argc, argv, 2);
-    if (cmd == "sweep")
-        return sst::cli::sweepMain(argc, argv, 2);
-    if (cmd == "trace")
-        return sst::cli::traceMain(argc, argv, 2);
-    if (cmd == "list")
-        return sst::cli::listMain(argc, argv, 2);
+    for (const Command &c : kCommands)
+        if (cmd == c.name)
+            return c.run(argc, argv, 2);
     if (cmd == "--help" || cmd == "-h") {
         usage();
         return 0;
     }
+    if (cmd == "--version" || cmd == "-V")
+        return sst::cli::versionMain();
     usage();
     std::fprintf(stderr, "fatal: unknown command '%s'\n", cmd.c_str());
     return 1;

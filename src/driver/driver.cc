@@ -6,11 +6,12 @@
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "core/experiment.hh"
 #include "driver/fingerprint.hh"
 #include "driver/result_cache.hh"
-#include "driver/thread_pool.hh"
+#include "serve/job_queue.hh"
 #include "trace/trace_run.hh"
 
 namespace sst {
@@ -255,6 +256,37 @@ runOneJob(const DriverOptions &opts, const JobSpec &spec,
 
 } // namespace
 
+struct JobExecutor::Impl
+{
+    DriverOptions opts;
+    ResultCache *cache = nullptr;
+    BaselineStore baselines;
+    TraceReaderCache traces;
+    TraceRecordClaims records;
+};
+
+JobExecutor::JobExecutor(const DriverOptions &opts, ResultCache *cache)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->opts = opts;
+    impl_->cache = cache;
+}
+
+JobExecutor::~JobExecutor() = default;
+
+JobResult
+JobExecutor::run(const JobSpec &spec)
+{
+    return runOneJob(impl_->opts, spec, impl_->baselines, impl_->cache,
+                     impl_->traces, impl_->records);
+}
+
+std::size_t
+JobExecutor::baselinesComputed() const
+{
+    return impl_->baselines.computeCount();
+}
+
 ExperimentDriver::ExperimentDriver(DriverOptions opts)
     : opts_(std::move(opts))
 {
@@ -285,27 +317,56 @@ ExperimentDriver::runBatch(const std::vector<JobSpec> &specs)
     stats_ = BatchStats{};
     stats_.total = specs.size();
 
-    std::vector<JobResult> results(specs.size());
-    BaselineStore baselines;
-    TraceReaderCache traces;
-    TraceRecordClaims records;
-    ResultCache *cache = cache_.get();
+    JobExecutor executor(opts_, cache_.get());
+
+    // The batch runs through the same JobQueue the experiment service
+    // uses (src/serve/), with in-process lease-loop threads as the
+    // backend. Local workers cannot die and the executor never throws,
+    // so every leased job completes — timestamps stay 0 and no lease
+    // ever expires. Fingerprint dedup means a batch that lists the same
+    // job twice executes it once and both rows share the result.
+    serve::JobQueue queue;
+    std::vector<serve::JobId> ids;
+    std::vector<bool> dup(specs.size(), false);
+    ids.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const serve::SubmitOutcome out = queue.submit(specs[i], 0, 0);
+        ids.push_back(out.id);
+        dup[i] = out.deduped;
+    }
+
+    auto leaseLoop = [&queue, &executor](const std::string &worker) {
+        serve::LeasedJob job;
+        while (queue.lease(worker, 0, job))
+            queue.complete(job.id, worker, executor.run(job.spec));
+    };
 
     const int nworkers = workerCount();
     if (nworkers <= 1 || specs.size() <= 1) {
-        for (std::size_t i = 0; i < specs.size(); ++i)
-            results[i] = runOneJob(opts_, specs[i], baselines, cache,
-                                   traces, records);
+        leaseLoop("local-0");
     } else {
-        WorkStealingPool pool(nworkers);
-        for (std::size_t i = 0; i < specs.size(); ++i) {
-            pool.submit([this, i, &specs, &results, &baselines, cache,
-                         &traces, &records] {
-                results[i] = runOneJob(opts_, specs[i], baselines, cache,
-                                       traces, records);
-            });
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(nworkers));
+        for (int w = 0; w < nworkers; ++w)
+            threads.emplace_back(leaseLoop,
+                                 "local-" + std::to_string(w));
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    std::vector<JobResult> results(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        results[i] = queue.resultFor(ids[i]);
+        if (dup[i]) {
+            ++stats_.deduped;
+            // A deduped row replays its twin's in-queue result: report
+            // it as a (memoized) cache hit, never a second execution,
+            // and don't double-count the twin's trace activity.
+            if (results[i].status == JobStatus::kOk)
+                results[i].status = JobStatus::kCached;
+            results[i].tracedReplay = false;
+            results[i].traceRecorded = false;
         }
-        pool.waitIdle();
     }
 
     for (const JobResult &r : results) {
@@ -325,7 +386,7 @@ ExperimentDriver::runBatch(const std::vector<JobSpec> &specs)
             break;
         }
     }
-    stats_.baselinesComputed = baselines.computeCount();
+    stats_.baselinesComputed = executor.baselinesComputed();
     return results;
 }
 

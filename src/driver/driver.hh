@@ -72,9 +72,43 @@ struct BatchStats
     std::size_t executed = 0; ///< freshly simulated
     std::size_t cached = 0;   ///< replayed from the result cache
     std::size_t failed = 0;   ///< rejected spec or execution error
+    std::size_t deduped = 0;  ///< intra-batch fingerprint duplicates
     std::size_t baselinesComputed = 0; ///< distinct 1-thread runs
     std::size_t traceReplays = 0; ///< executed jobs driven from a trace
     std::size_t tracesRecorded = 0; ///< jobs captured via --record-dir
+};
+
+/**
+ * Executes single jobs: validation, result-cache lookup/store, trace
+ * replay/record and the simulation runs, with 1-thread baselines,
+ * parsed traces and record-path claims memoized across calls. This is
+ * the execution engine runBatch() used to inline — split out so the
+ * in-process worker threads and external `sst worker` processes
+ * (src/serve/) share one implementation. Thread-safe: concurrent run()
+ * calls coordinate through the internal stores.
+ */
+class JobExecutor
+{
+  public:
+    /**
+     * @p cache may be null (memoization disabled); when set it must
+     * outlive the executor. @p opts is copied.
+     */
+    JobExecutor(const DriverOptions &opts, class ResultCache *cache);
+    ~JobExecutor();
+
+    /**
+     * Execute one job. Never throws: spec validation or execution
+     * errors yield a kFailed result carrying the message.
+     */
+    JobResult run(const JobSpec &spec);
+
+    /** Distinct 1-thread baseline runs computed so far. */
+    std::size_t baselinesComputed() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
 };
 
 /** Executes job batches; reusable across batches (stats reset per run). */

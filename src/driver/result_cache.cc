@@ -17,6 +17,14 @@ namespace {
 
 constexpr const char *kMagic = "sst-result-cache v1";
 
+/**
+ * Sanity bound on the embedded canonical text. Real canonical
+ * serializations are O(1 KiB); a corrupt `canonical-bytes` line (bit
+ * rot, a torn concurrent writer on a filesystem without atomic rename)
+ * must degrade to a miss, not drive a multi-gigabyte allocation.
+ */
+constexpr std::uint64_t kMaxCanonicalBytes = 1ULL << 20;
+
 void
 putU64(std::ostream &os, const char *key, std::uint64_t v)
 {
@@ -82,29 +90,10 @@ toF64(const std::string &s, double &out)
 
 } // namespace
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
-{
-    std::error_code ec;
-    std::filesystem::create_directories(dir_, ec);
-    if (ec)
-        fatal("cannot create result cache directory '" + dir_ +
-              "': " + ec.message());
-}
-
 std::string
-ResultCache::entryPath(const Fingerprint &fp) const
-{
-    return dir_ + "/" + fp.hex() + ".result";
-}
-
-void
-ResultCache::store(const Fingerprint &fp, const SpeedupExperiment &exp)
+encodeExperimentSummary(const SpeedupExperiment &exp)
 {
     std::ostringstream os;
-    os << kMagic << '\n';
-    os << "hash " << fp.hex() << '\n';
-    os << "canonical-bytes " << fp.canonical.size() << '\n';
-    os << fp.canonical;
     os << "label " << exp.label << '\n';
     putU64(os, "nthreads", static_cast<std::uint64_t>(exp.nthreads));
     putU64(os, "ts", exp.ts);
@@ -132,54 +121,13 @@ ResultCache::store(const Fingerprint &fp, const SpeedupExperiment &exp)
     putU64(os, "parallel.totalSpinInstructions",
            exp.parallel.totalSpinInstructions);
     os << "end\n";
-
-    // Atomic publish: temp file + rename. The mutex keeps two threads of
-    // this process from interleaving on the same temp name; the pid makes
-    // the temp name unique across processes sharing one cache directory,
-    // and rename() atomicity makes the publish itself safe either way.
-    std::lock_guard<std::mutex> lock(writeMutex_);
-    const std::string tmp =
-        entryPath(fp) + ".tmp." + std::to_string(::getpid());
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            warn("result cache: cannot write " + tmp);
-            return;
-        }
-        out << os.str();
-    }
-    std::error_code ec;
-    std::filesystem::rename(tmp, entryPath(fp), ec);
-    if (ec) {
-        warn("result cache: cannot publish " + entryPath(fp) + ": " +
-             ec.message());
-        std::filesystem::remove(tmp, ec);
-    }
+    return os.str();
 }
 
 bool
-ResultCache::lookup(const Fingerprint &fp, SpeedupExperiment &out) const
+decodeExperimentSummary(const std::string &text, SpeedupExperiment &out)
 {
-    std::ifstream in(entryPath(fp), std::ios::binary);
-    if (!in)
-        return false;
-
-    std::string line;
-    if (!std::getline(in, line) || line != kMagic)
-        return false;
-    if (!std::getline(in, line) || line != "hash " + fp.hex())
-        return false;
-    std::uint64_t nbytes = 0;
-    if (!std::getline(in, line) ||
-        line.rfind("canonical-bytes ", 0) != 0 ||
-        !toU64(line.substr(std::strlen("canonical-bytes ")), nbytes))
-        return false;
-    std::string canonical(nbytes, '\0');
-    if (!in.read(canonical.data(),
-                 static_cast<std::streamsize>(nbytes)) ||
-        canonical != fp.canonical)
-        return false; // collision or stale encoding: treat as a miss
-
+    std::istringstream in(text);
     SpeedupExperiment exp;
     bool sawEnd = false;
     LineReader reader(in);
@@ -249,6 +197,97 @@ ResultCache::lookup(const Fingerprint &fp, SpeedupExperiment &out) const
     exp.parallel.executionTime = exp.tp;
     out = std::move(exp);
     return true;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        fatal("cannot create result cache directory '" + dir_ +
+              "': " + ec.message());
+}
+
+std::string
+ResultCache::entryPath(const Fingerprint &fp) const
+{
+    return dir_ + "/" + fp.hex() + ".result";
+}
+
+void
+ResultCache::store(const Fingerprint &fp, const SpeedupExperiment &exp)
+{
+    std::ostringstream os;
+    os << kMagic << '\n';
+    os << "hash " << fp.hex() << '\n';
+    os << "canonical-bytes " << fp.canonical.size() << '\n';
+    os << fp.canonical;
+    os << encodeExperimentSummary(exp);
+
+    // Atomic publish: temp file + rename. The mutex keeps two threads of
+    // this process from interleaving on the same temp name; the pid makes
+    // the temp name unique across processes sharing one cache directory,
+    // and rename() atomicity makes the publish itself safe either way.
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    const std::string tmp =
+        entryPath(fp) + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("result cache: cannot write " + tmp);
+            return;
+        }
+        out << os.str();
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, entryPath(fp), ec);
+    if (ec) {
+        warn("result cache: cannot publish " + entryPath(fp) + ": " +
+             ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+bool
+ResultCache::lookup(const Fingerprint &fp, SpeedupExperiment &out) const
+{
+    // Every failure mode of a corrupt or truncated entry — bad magic,
+    // wrong hash, an absurd canonical-bytes value, malformed metric
+    // lines, a missing end sentinel — is a miss, never a crash: the
+    // caller re-executes and store() overwrites the bad entry.
+    try {
+        std::ifstream in(entryPath(fp), std::ios::binary);
+        if (!in)
+            return false;
+
+        std::string line;
+        if (!std::getline(in, line) || line != kMagic)
+            return false;
+        if (!std::getline(in, line) || line != "hash " + fp.hex())
+            return false;
+        std::uint64_t nbytes = 0;
+        if (!std::getline(in, line) ||
+            line.rfind("canonical-bytes ", 0) != 0 ||
+            !toU64(line.substr(std::strlen("canonical-bytes ")), nbytes))
+            return false;
+        if (nbytes > kMaxCanonicalBytes)
+            return false; // corrupt length: don't even try to allocate
+        std::string canonical(nbytes, '\0');
+        if (!in.read(canonical.data(),
+                     static_cast<std::streamsize>(nbytes)) ||
+            canonical != fp.canonical)
+            return false; // collision or stale encoding: treat as a miss
+
+        std::ostringstream rest;
+        rest << in.rdbuf();
+        SpeedupExperiment exp;
+        if (!decodeExperimentSummary(rest.str(), exp))
+            return false;
+        out = std::move(exp);
+        return true;
+    } catch (const std::exception &) {
+        return false; // unreadable entry == miss
+    }
 }
 
 void

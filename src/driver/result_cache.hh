@@ -28,6 +28,30 @@
 
 namespace sst {
 
+/**
+ * Entry format version (the `sst-result-cache v1` magic line). Bump on
+ * incompatible layout changes; unknown keys within a version are
+ * skipped, so additive changes don't need one.
+ */
+inline constexpr int kResultCacheVersion = 1;
+
+/**
+ * Encode the persisted summary of @p exp as `key value` lines
+ * terminated by an `end` line — the body of a cache entry and the
+ * serve protocol's wire form of a completed job (one codec, so the
+ * socket and the cache can never disagree about a result).
+ */
+std::string encodeExperimentSummary(const SpeedupExperiment &exp);
+
+/**
+ * Decode encodeExperimentSummary() text into @p out. Returns false on
+ * malformed values or truncation (no `end` sentinel); unknown keys are
+ * skipped. On success the derived single/parallel run fields are
+ * filled exactly like a cache hit (see file comment).
+ */
+bool decodeExperimentSummary(const std::string &text,
+                             SpeedupExperiment &out);
+
 /** On-disk result store keyed by job fingerprints. */
 class ResultCache
 {

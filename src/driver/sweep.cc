@@ -246,6 +246,32 @@ sweepCsvHeader()
 }
 
 std::string
+sweepCsvRow(const JobSpec &s, const JobResult &r)
+{
+    std::ostringstream os;
+    os << s.label() << ',' << jobSuite(s) << ','
+       << s.nthreads() << ',' << s.ncoresEffective() << ','
+       << s.params.cache.llcBytes << ',' << s.seedOffset << ','
+       << statusName(r.status);
+    if (r.ok()) {
+        const SpeedupExperiment &e = r.exp;
+        os << ',' << e.ts << ',' << e.tp << ','
+           << f64(e.actualSpeedup) << ',' << f64(e.estimatedSpeedup)
+           << ',' << f64(e.error) << ',' << f64(e.stack.baseSpeedup)
+           << ',' << f64(e.stack.posLlc) << ',' << f64(e.stack.negLlc)
+           << ',' << f64(e.stack.netNegLlc()) << ','
+           << f64(e.stack.negMem) << ',' << f64(e.stack.spin) << ','
+           << f64(e.stack.yield) << ',' << f64(e.stack.imbalance)
+           << ',' << f64(e.stack.coherency) << ','
+           << f64(e.parOverheadMeasured);
+    } else {
+        for (int k = 0; k < 15; ++k)
+            os << ',';
+    }
+    return os.str();
+}
+
+std::string
 sweepCsv(const std::vector<JobSpec> &specs,
          const std::vector<JobResult> &results)
 {
@@ -253,30 +279,41 @@ sweepCsv(const std::vector<JobSpec> &specs,
               "sweepCsv: specs/results size mismatch");
     std::ostringstream os;
     os << sweepCsvHeader() << '\n';
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-        const JobSpec &s = specs[i];
-        const JobResult &r = results[i];
-        os << s.label() << ',' << jobSuite(s) << ','
-           << s.nthreads() << ',' << s.ncoresEffective() << ','
-           << s.params.cache.llcBytes << ',' << s.seedOffset << ','
-           << statusName(r.status);
-        if (r.ok()) {
-            const SpeedupExperiment &e = r.exp;
-            os << ',' << e.ts << ',' << e.tp << ','
-               << f64(e.actualSpeedup) << ',' << f64(e.estimatedSpeedup)
-               << ',' << f64(e.error) << ',' << f64(e.stack.baseSpeedup)
-               << ',' << f64(e.stack.posLlc) << ',' << f64(e.stack.negLlc)
-               << ',' << f64(e.stack.netNegLlc()) << ','
-               << f64(e.stack.negMem) << ',' << f64(e.stack.spin) << ','
-               << f64(e.stack.yield) << ',' << f64(e.stack.imbalance)
-               << ',' << f64(e.stack.coherency) << ','
-               << f64(e.parOverheadMeasured);
-        } else {
-            for (int k = 0; k < 15; ++k)
-                os << ',';
-        }
-        os << '\n';
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        os << sweepCsvRow(specs[i], results[i]) << '\n';
+    return os.str();
+}
+
+std::string
+sweepJsonRow(const JobSpec &s, const JobResult &r)
+{
+    std::ostringstream os;
+    os << "{\"benchmark\": \"" << jsonEscape(s.label())
+       << "\", \"suite\": \"" << jsonEscape(jobSuite(s))
+       << "\", \"nthreads\": " << s.nthreads()
+       << ", \"ncores\": " << s.ncoresEffective()
+       << ", \"llc_bytes\": " << s.params.cache.llcBytes
+       << ", \"seed_offset\": " << s.seedOffset << ", \"status\": \""
+       << statusName(r.status) << '"';
+    if (r.ok()) {
+        const SpeedupExperiment &e = r.exp;
+        os << ", \"ts\": " << e.ts << ", \"tp\": " << e.tp
+           << ", \"actual_speedup\": " << f64(e.actualSpeedup)
+           << ", \"estimated_speedup\": " << f64(e.estimatedSpeedup)
+           << ", \"error\": " << f64(e.error)
+           << ", \"stack\": {\"base\": " << f64(e.stack.baseSpeedup)
+           << ", \"pos_llc\": " << f64(e.stack.posLlc)
+           << ", \"neg_llc\": " << f64(e.stack.negLlc)
+           << ", \"neg_mem\": " << f64(e.stack.negMem)
+           << ", \"spin\": " << f64(e.stack.spin)
+           << ", \"yield\": " << f64(e.stack.yield)
+           << ", \"imbalance\": " << f64(e.stack.imbalance)
+           << ", \"coherency\": " << f64(e.stack.coherency) << '}'
+           << ", \"par_overhead\": " << f64(e.parOverheadMeasured);
+    } else {
+        os << ", \"error_message\": \"" << jsonEscape(r.error) << '"';
     }
+    os << '}';
     return os.str();
 }
 
@@ -289,34 +326,8 @@ sweepJson(const std::vector<JobSpec> &specs,
     std::ostringstream os;
     os << "[\n";
     for (std::size_t i = 0; i < specs.size(); ++i) {
-        const JobSpec &s = specs[i];
-        const JobResult &r = results[i];
-        os << "  {\"benchmark\": \"" << jsonEscape(s.label())
-           << "\", \"suite\": \"" << jsonEscape(jobSuite(s))
-           << "\", \"nthreads\": " << s.nthreads()
-           << ", \"ncores\": " << s.ncoresEffective()
-           << ", \"llc_bytes\": " << s.params.cache.llcBytes
-           << ", \"seed_offset\": " << s.seedOffset << ", \"status\": \""
-           << statusName(r.status) << '"';
-        if (r.ok()) {
-            const SpeedupExperiment &e = r.exp;
-            os << ", \"ts\": " << e.ts << ", \"tp\": " << e.tp
-               << ", \"actual_speedup\": " << f64(e.actualSpeedup)
-               << ", \"estimated_speedup\": " << f64(e.estimatedSpeedup)
-               << ", \"error\": " << f64(e.error)
-               << ", \"stack\": {\"base\": " << f64(e.stack.baseSpeedup)
-               << ", \"pos_llc\": " << f64(e.stack.posLlc)
-               << ", \"neg_llc\": " << f64(e.stack.negLlc)
-               << ", \"neg_mem\": " << f64(e.stack.negMem)
-               << ", \"spin\": " << f64(e.stack.spin)
-               << ", \"yield\": " << f64(e.stack.yield)
-               << ", \"imbalance\": " << f64(e.stack.imbalance)
-               << ", \"coherency\": " << f64(e.stack.coherency) << '}'
-               << ", \"par_overhead\": " << f64(e.parOverheadMeasured);
-        } else {
-            os << ", \"error_message\": \"" << jsonEscape(r.error) << '"';
-        }
-        os << '}' << (i + 1 < specs.size() ? "," : "") << '\n';
+        os << "  " << sweepJsonRow(specs[i], results[i])
+           << (i + 1 < specs.size() ? "," : "") << '\n';
     }
     os << "]\n";
     return os.str();

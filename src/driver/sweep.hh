@@ -84,6 +84,17 @@ std::vector<std::uint64_t> parseSizeList(const std::string &text);
 std::string sweepCsvHeader();
 
 /**
+ * One CSV row (no trailing newline) for @p spec / @p result — the unit
+ * the experiment service streams incrementally. sweepCsv() is exactly
+ * the header plus these rows, so a streamed campaign is bit-identical
+ * to the batch export.
+ */
+std::string sweepCsvRow(const JobSpec &spec, const JobResult &result);
+
+/** One JSON object (no trailing newline/comma) for @p spec/@p result. */
+std::string sweepJsonRow(const JobSpec &spec, const JobResult &result);
+
+/**
  * Export a completed batch (specs paired with their results, same
  * order) as CSV, header included. Doubles use round-trip precision.
  */

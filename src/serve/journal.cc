@@ -1,0 +1,85 @@
+#include "journal.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.hh"
+
+namespace sst {
+namespace serve {
+
+Journal::Journal(const std::string &path) : path_(path)
+{
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) {
+        throw std::runtime_error("cannot open journal " + path + ": " +
+                                 std::strerror(errno));
+    }
+}
+
+Journal::~Journal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+Journal::append(const std::string &line)
+{
+    sstAssert(fd_ >= 0, "append to a closed journal");
+    sstAssert(line.find('\n') == std::string::npos,
+              "journal records are single lines");
+    const std::string record = line + "\n";
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t off = 0;
+    while (off < record.size()) {
+        const ssize_t n =
+            ::write(fd_, record.data() + off, record.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error("journal write failed: " +
+                                     std::string(std::strerror(errno)));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd_) != 0) {
+        throw std::runtime_error("journal fsync failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+}
+
+std::vector<std::string>
+Journal::replay(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return {}; // no journal yet: empty history
+
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad())
+        throw std::runtime_error("cannot read journal " + path);
+    const std::string text = buf.str();
+
+    std::vector<std::string> records;
+    std::size_t pos = 0;
+    for (;;) {
+        const std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            break; // torn trailing line (crash mid-append): drop it
+        records.push_back(text.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    return records;
+}
+
+} // namespace serve
+} // namespace sst

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Crash-safe request journal for the experiment service. The server
+ * appends one serialized request line per accepted state-changing
+ * request (submit, cancel) and fsyncs before acknowledging, so a
+ * restarted server replays the journal and reconstructs every campaign
+ * it ever accepted; the content-addressed result cache then turns the
+ * replayed jobs that already ran into instant cache hits.
+ *
+ * The journal is append-only text, one protocol request line per
+ * record. Replay tolerates a torn final line (a crash mid-append):
+ * only lines with their trailing newline are returned.
+ */
+
+#ifndef SST_SERVE_JOURNAL_HH
+#define SST_SERVE_JOURNAL_HH
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sst {
+namespace serve {
+
+/** Append-only, fsync-on-append line journal. Thread-safe. */
+class Journal
+{
+  public:
+    Journal() = default;
+
+    /** Open (create if missing) @p path for appending. Throws
+     *  std::runtime_error on failure. */
+    explicit Journal(const std::string &path);
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    bool open() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+    /**
+     * Append @p line (a single record, no embedded newlines — the
+     * protocol escapes them) plus '\n', then fsync. Throws
+     * std::runtime_error on I/O failure — the caller must not
+     * acknowledge a request it failed to journal.
+     */
+    void append(const std::string &line);
+
+    /**
+     * Read every complete record of the journal at @p path. A missing
+     * file is an empty journal; a torn trailing line (no newline) is
+     * dropped. Throws std::runtime_error on read errors.
+     */
+    static std::vector<std::string> replay(const std::string &path);
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+    std::mutex mutex_;
+};
+
+} // namespace serve
+} // namespace sst
+
+#endif // SST_SERVE_JOURNAL_HH

@@ -1,0 +1,504 @@
+#include "server.hh"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "driver/fingerprint.hh"
+#include "driver/result_cache.hh"
+#include "driver/sweep.hh"
+#include "serve/journal.hh"
+#include "serve/protocol.hh"
+#include "spec/spec.hh"
+#include "util/logging.hh"
+
+namespace sst {
+namespace serve {
+namespace {
+
+/** Collapse an exception message onto one response line. */
+std::string
+oneline(const std::string &msg)
+{
+    std::string out = msg;
+    std::replace(out.begin(), out.end(), '\n', ' ');
+    std::replace(out.begin(), out.end(), '\r', ' ');
+    return out;
+}
+
+} // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), queue_(opts_.queue),
+      epoch_(std::chrono::steady_clock::now())
+{
+    if (!opts_.driver.cacheDir.empty())
+        cache_ = std::make_unique<ResultCache>(opts_.driver.cacheDir);
+    executor_ = std::make_unique<JobExecutor>(opts_.driver, cache_.get());
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+std::uint64_t
+Server::nowMs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+void
+Server::start()
+{
+    sstAssert(!started_, "Server::start called twice");
+    started_ = true;
+
+    // Replay before listening: the queue is fully reconstructed before
+    // any client or worker can observe it. Jobs that completed in a
+    // previous life fulfil instantly through the result cache.
+    if (!opts_.journalPath.empty()) {
+        for (const std::string &line : Journal::replay(opts_.journalPath)) {
+            Request req;
+            try {
+                req = parseRequest(line);
+            } catch (const std::exception &e) {
+                warn("journal: skipping bad record (" +
+                     std::string(e.what()) + ")");
+                continue;
+            }
+            if (req.kind == Request::Kind::kSubmit) {
+                std::string response;
+                if (!submitCampaign(req.campaign, req.priority,
+                                    req.payload, response,
+                                    /*from_journal=*/true))
+                    warn("journal: replay of campaign '" + req.campaign +
+                         "' failed: " + response);
+            } else if (req.kind == Request::Kind::kCancel) {
+                cancelCampaign(req.campaign, /*from_journal=*/true);
+            } else {
+                warn("journal: skipping non-state record '" +
+                     std::string(requestKindName(req.kind)) + "'");
+            }
+        }
+        journal_ = std::make_unique<Journal>(opts_.journalPath);
+    }
+
+    listener_ = Listener::listenOn(opts_.endpoint);
+    endpoint_ = listener_.endpoint();
+
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    reaperThread_ = std::thread([this] { reaperLoop(); });
+    if (opts_.localWorkers > 0) {
+        localCurrent_ = std::make_unique<std::atomic<JobId>[]>(
+            static_cast<std::size_t>(opts_.localWorkers));
+        for (int i = 0; i < opts_.localWorkers; ++i) {
+            localCurrent_[i] = 0;
+            localWorkers_.emplace_back(
+                [this, i] { localWorkerLoop(i); });
+        }
+    }
+}
+
+void
+Server::stop()
+{
+    if (stop_.exchange(true))
+        return;
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    listener_.close();
+    {
+        std::lock_guard<std::mutex> lock(connsMutex_);
+        for (std::thread &t : conns_)
+            if (t.joinable())
+                t.join();
+        conns_.clear();
+    }
+    if (reaperThread_.joinable())
+        reaperThread_.join();
+    for (std::thread &t : localWorkers_)
+        if (t.joinable())
+            t.join();
+    localWorkers_.clear();
+}
+
+bool
+Server::finished() const
+{
+    return draining_ && queue_.idle();
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stop_) {
+        Socket sock;
+        try {
+            sock = listener_.accept(
+                static_cast<int>(opts_.reaperIntervalMs));
+        } catch (const std::exception &e) {
+            if (!stop_)
+                warn("accept failed: " + std::string(e.what()));
+            continue;
+        }
+        if (!sock.valid())
+            continue;
+        std::lock_guard<std::mutex> lock(connsMutex_);
+        conns_.emplace_back(
+            [this](Socket s) { handleConnection(std::move(s)); },
+            std::move(sock));
+    }
+}
+
+void
+Server::reaperLoop()
+{
+    while (!stop_) {
+        const std::size_t expired = queue_.expireLeases(nowMs());
+        if (expired > 0)
+            inform("requeued " + std::to_string(expired) +
+                   " expired lease(s)");
+        // Local workers never die with the server alive; heartbeat on
+        // their behalf so long jobs survive short lease settings.
+        for (int i = 0; i < opts_.localWorkers; ++i) {
+            const JobId id = localCurrent_[i].load();
+            if (id != 0)
+                queue_.heartbeat(id, "local-" + std::to_string(i),
+                                 nowMs());
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opts_.reaperIntervalMs));
+    }
+}
+
+void
+Server::localWorkerLoop(int index)
+{
+    const std::string name = "local-" + std::to_string(index);
+    while (!stop_) {
+        LeasedJob job;
+        if (!queue_.lease(name, nowMs(), job)) {
+            if (draining_ && queue_.idle())
+                return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            continue;
+        }
+        localCurrent_[index] = job.id;
+        JobResult result = executor_->run(job.spec);
+        localCurrent_[index] = 0;
+        queue_.complete(job.id, name, std::move(result));
+    }
+}
+
+void
+Server::journalRequest(const std::string &line)
+{
+    if (journal_)
+        journal_->append(line);
+}
+
+bool
+Server::submitCampaign(const std::string &name, int priority,
+                       const std::string &spec_text,
+                       std::string &response, bool from_journal)
+{
+    if (name.empty()) {
+        response = "err campaign name must not be empty";
+        return false;
+    }
+    if (draining_ && !from_journal) {
+        response = "err draining: not accepting new campaigns";
+        return false;
+    }
+
+    std::string canonical;
+    std::vector<JobSpec> jobs;
+    try {
+        const ExperimentSpec spec = parseSpec(spec_text);
+        canonical = serializeSpec(spec);
+        jobs = expandGrid(specGrid(spec));
+    } catch (const std::exception &e) {
+        response = "err " + oneline(e.what());
+        return false;
+    }
+    if (jobs.empty()) {
+        response = "err campaign expands to zero jobs";
+        return false;
+    }
+
+    std::lock_guard<std::mutex> lock(campaignsMutex_);
+    const auto known = campaigns_.find(name);
+    const bool isNew = known == campaigns_.end();
+    if (!isNew && known->second.canonical != canonical) {
+        response = "err campaign '" + name +
+                   "' already exists with a different spec";
+        return false;
+    }
+
+    // Journal before enqueueing: a crash between the two replays the
+    // submit and reconstructs the jobs; the reverse order could accept
+    // (and answer ok for) a campaign a restart would forget. Journal
+    // the canonical text so replay parses the exact same spec.
+    if (!from_journal && isNew) {
+        Request rec;
+        rec.kind = Request::Kind::kSubmit;
+        rec.campaign = name;
+        rec.priority = priority;
+        rec.payload = canonical;
+        journalRequest(serializeRequest(rec));
+    }
+
+    std::size_t fresh = 0, deduped = 0, cachedHits = 0;
+    Campaign campaign;
+    campaign.canonical = canonical;
+    campaign.priority = priority;
+    for (const JobSpec &job : jobs) {
+        const SubmitOutcome outcome =
+            queue_.submit(job, priority, nowMs());
+        campaign.specs.push_back(job);
+        campaign.ids.push_back(outcome.id);
+        if (outcome.deduped) {
+            ++deduped;
+            continue;
+        }
+        ++fresh;
+        // Submit-time memoization: a job the cache already holds never
+        // reaches a worker — this is what turns journal replay into an
+        // instant resume for the completed prefix of a campaign.
+        if (cache_) {
+            try {
+                const Fingerprint fp = fingerprintJob(job);
+                SpeedupExperiment exp;
+                if (cache_->lookup(fp, exp)) {
+                    JobResult hit;
+                    hit.status = JobStatus::kCached;
+                    hit.exp = std::move(exp);
+                    if (queue_.fulfil(outcome.id, std::move(hit)))
+                        ++cachedHits;
+                }
+            } catch (const std::exception &) {
+                // Unfingerprintable specs fail at execution time with
+                // a real error message; nothing to do here.
+            }
+        }
+    }
+    if (isNew)
+        campaigns_.emplace(name, std::move(campaign));
+
+    response = "ok submitted " + escapeToken(name) + " jobs=" +
+               std::to_string(jobs.size()) + " new=" +
+               std::to_string(fresh) + " deduped=" +
+               std::to_string(deduped) + " cached=" +
+               std::to_string(cachedHits);
+    return true;
+}
+
+std::size_t
+Server::cancelCampaign(const std::string &name, bool from_journal)
+{
+    std::lock_guard<std::mutex> lock(campaignsMutex_);
+    const auto it = campaigns_.find(name);
+    if (it == campaigns_.end())
+        return 0;
+    if (!from_journal) {
+        Request rec;
+        rec.kind = Request::Kind::kCancel;
+        rec.campaign = name;
+        journalRequest(serializeRequest(rec));
+    }
+    std::size_t cancelled = 0;
+    for (const JobId id : it->second.ids)
+        if (queue_.cancel(id))
+            ++cancelled;
+    return cancelled;
+}
+
+std::string
+Server::statusText() const
+{
+    const QueueStats stats = queue_.stats();
+    std::string out;
+    out += "protocol " + std::to_string(kProtocolVersion) + "\n";
+    out += "draining " + std::string(draining_ ? "1" : "0") + "\n";
+    out += "pending " + std::to_string(stats.pending) + "\n";
+    out += "leased " + std::to_string(stats.leased) + "\n";
+    out += "done " + std::to_string(stats.done) + "\n";
+    out += "failed " + std::to_string(stats.failed) + "\n";
+    out += "cancelled " + std::to_string(stats.cancelled) + "\n";
+    out += "submitted " + std::to_string(stats.submitted) + "\n";
+    out += "deduped " + std::to_string(stats.deduped) + "\n";
+    out += "requeues " + std::to_string(stats.requeues) + "\n";
+    std::lock_guard<std::mutex> lock(campaignsMutex_);
+    for (const auto &entry : campaigns_) {
+        std::size_t settled = 0;
+        for (const JobId id : entry.second.ids)
+            if (queue_.settled(id))
+                ++settled;
+        out += "campaign " + escapeToken(entry.first) + " jobs=" +
+               std::to_string(entry.second.ids.size()) + " settled=" +
+               std::to_string(settled) + " priority=" +
+               std::to_string(entry.second.priority) + "\n";
+    }
+    return out;
+}
+
+void
+Server::handleLease(Socket &sock, const std::string &worker)
+{
+    LeasedJob job;
+    if (queue_.lease(worker, nowMs(), job)) {
+        const std::string specText =
+            serializeSpec(specForJob(job.spec));
+        sock.writeAll("ok job " + std::to_string(job.id) + " " +
+                      std::to_string(job.leaseMs) + " " +
+                      escapeToken(specText) + "\n");
+        return;
+    }
+    if (draining_ && queue_.idle()) {
+        sock.writeAll("ok drained\n");
+        return;
+    }
+    sock.writeAll("ok none\n");
+}
+
+void
+Server::handleDone(const std::string &worker, JobId id,
+                   const std::string &payload, Socket &sock)
+{
+    JobResult result;
+    if (!decodeJobResult(payload, result)) {
+        // An undecodable payload is a worker-side defect: retry the
+        // job elsewhere rather than settling it with garbage.
+        queue_.fail(id, worker, "undecodable result payload", nowMs());
+        sock.writeAll("err undecodable result payload\n");
+        return;
+    }
+    // Feed the server-side cache before settling: external workers may
+    // have no cache (or a private one), and a restarted server resumes
+    // from *this* cache.
+    if (result.ok() && cache_) {
+        try {
+            cache_->store(fingerprintJob(queue_.specFor(id)), result.exp);
+        } catch (const std::exception &e) {
+            warn("cache store for job " + std::to_string(id) +
+                 " failed: " + e.what());
+        }
+    }
+    if (queue_.complete(id, worker, std::move(result)))
+        sock.writeAll("ok\n");
+    else
+        sock.writeAll("err stale\n");
+}
+
+void
+Server::streamResults(Socket &sock, const std::string &name, bool json,
+                      bool wait)
+{
+    std::vector<JobSpec> specs;
+    std::vector<JobId> ids;
+    {
+        std::lock_guard<std::mutex> lock(campaignsMutex_);
+        const auto it = campaigns_.find(name);
+        if (it == campaigns_.end()) {
+            sock.writeAll("err unknown campaign '" + escapeToken(name) +
+                          "'\n");
+            return;
+        }
+        specs = it->second.specs;
+        ids = it->second.ids;
+    }
+
+    sock.writeAll("ok results " + escapeToken(name) + " " +
+                  std::string(json ? "json" : "csv") + "\n");
+    if (!json)
+        sock.writeAll(sweepCsvHeader() + "\n");
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        while (!queue_.settled(ids[i])) {
+            if (!wait || stop_) {
+                sock.writeAll("end partial " + std::to_string(i) + "/" +
+                              std::to_string(ids.size()) + "\n");
+                return;
+            }
+            queue_.waitSettled(ids[i], 200);
+        }
+        const JobResult result = queue_.resultFor(ids[i]);
+        sock.writeAll((json ? sweepJsonRow(specs[i], result)
+                            : sweepCsvRow(specs[i], result)) +
+                      "\n");
+    }
+    sock.writeAll("end complete " + std::to_string(ids.size()) + "/" +
+                  std::to_string(ids.size()) + "\n");
+}
+
+void
+Server::handleConnection(Socket sock)
+{
+    std::string line;
+    try {
+        if (!sock.readLine(line))
+            return;
+        const Request req = parseRequest(line);
+        switch (req.kind) {
+        case Request::Kind::kSubmit: {
+            std::string response;
+            submitCampaign(req.campaign, req.priority, req.payload,
+                           response);
+            sock.writeAll(response + "\n");
+            break;
+        }
+        case Request::Kind::kStatus:
+            sock.writeAll("ok status\n" + statusText() + "end\n");
+            break;
+        case Request::Kind::kResults:
+            streamResults(sock, req.campaign, req.json, req.wait);
+            break;
+        case Request::Kind::kCancel: {
+            const std::size_t n = cancelCampaign(req.campaign);
+            sock.writeAll("ok cancelled " + escapeToken(req.campaign) +
+                          " pending=" + std::to_string(n) + "\n");
+            break;
+        }
+        case Request::Kind::kDrain:
+            drain();
+            sock.writeAll("ok draining\n");
+            break;
+        case Request::Kind::kPing:
+            sock.writeAll("ok pong protocol=" +
+                          std::to_string(kProtocolVersion) + "\n");
+            break;
+        case Request::Kind::kLease:
+            handleLease(sock, req.worker);
+            break;
+        case Request::Kind::kHeartbeat:
+            sock.writeAll(queue_.heartbeat(req.jobId, req.worker, nowMs())
+                              ? "ok\n"
+                              : "err stale\n");
+            break;
+        case Request::Kind::kDone:
+            handleDone(req.worker, req.jobId, req.payload, sock);
+            break;
+        case Request::Kind::kFail: {
+            const FailOutcome outcome = queue_.fail(
+                req.jobId, req.worker, req.payload, nowMs());
+            sock.writeAll(outcome == FailOutcome::kRequeued ? "ok requeued\n"
+                          : outcome == FailOutcome::kFailed ? "ok failed\n"
+                                                            : "err stale\n");
+            break;
+        }
+        }
+        sock.shutdownWrite();
+    } catch (const std::exception &e) {
+        try {
+            sock.writeAll("err " + oneline(e.what()) + "\n");
+        } catch (const std::exception &) {
+            // The peer is gone; nothing to report to.
+        }
+    }
+}
+
+} // namespace serve
+} // namespace sst

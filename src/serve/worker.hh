@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The external worker process (`sst worker --connect`): leases jobs
+ * from a running server over the wire protocol, executes them on a
+ * local JobExecutor, heartbeats each lease while the simulation runs,
+ * and reports `done` (with the encoded result) or `fail` (for
+ * infrastructure errors a retry elsewhere might not hit).
+ *
+ * Workers are crash-only by design: there is no deregistration — a
+ * killed worker simply stops heartbeating and the server's reaper
+ * requeues its job. Every request uses a fresh connection, so a worker
+ * survives server restarts by retrying leases until the endpoint
+ * answers again (bounded by connectRetries).
+ */
+
+#ifndef SST_SERVE_WORKER_HH
+#define SST_SERVE_WORKER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "driver/driver.hh"
+#include "serve/net.hh"
+
+namespace sst {
+namespace serve {
+
+/** Worker configuration. */
+struct WorkerOptions
+{
+    Endpoint endpoint; ///< server to lease from
+
+    /** Lease identity; also names the worker in server diagnostics. */
+    std::string name;
+
+    /**
+     * Execution options. A non-empty cacheDir gives the worker its own
+     * result cache (useful when workers outlive servers); by default
+     * workers run cacheless — the server caches completed results.
+     */
+    DriverOptions driver;
+
+    /** Idle poll interval when the server has no leasable job. */
+    std::uint64_t pollMs = 200;
+
+    /** Consecutive connection failures tolerated before giving up. */
+    int connectRetries = 30;
+
+    bool verbose = false;
+};
+
+/**
+ * Run the lease/execute/report loop until the server drains (returns
+ * 0) or the endpoint stays unreachable past connectRetries (returns 1).
+ * The options' name defaults to "worker-<pid>" when empty.
+ */
+int runWorker(const WorkerOptions &opts);
+
+} // namespace serve
+} // namespace sst
+
+#endif // SST_SERVE_WORKER_HH

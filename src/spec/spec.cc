@@ -363,6 +363,37 @@ specGrid(const ExperimentSpec &spec)
     return grid;
 }
 
+ExperimentSpec
+specForJob(const JobSpec &job)
+{
+    ExperimentSpec spec;
+    const WorkloadSpec &w = job.workload;
+    if (w.isHomogeneous() && w.name.empty()) {
+        spec.profiles = {w.groups[0].profile.label()};
+        spec.threads = {w.groups[0].nthreads};
+    } else {
+        // Registry name when set, canonical inline descriptor
+        // otherwise; either way canonicalWorkloadText() resolves it
+        // through the registries (throwing on unknown labels) so the
+        // receiving side reconstructs the identical workload. The
+        // threads axis stays at its default — workloads carry their own
+        // thread counts and validateSpec rejects anything else.
+        spec.workloads = {canonicalWorkloadText(
+            w.name.empty() ? w.descriptor() : w.name)};
+        spec.frontend = w.role == WorkloadRole::kPipeline ? "pipeline"
+                                                          : "program";
+    }
+    if (job.ncores > 0)
+        spec.cores = {job.ncores};
+    spec.seedOffset = job.seedOffset;
+    spec.machine = job.params;
+    // Deterministic policies ignore the seed; canonicalize it away so
+    // the spec validates and fingerprints match the original job.
+    spec.machine.schedSeed = canonicalSchedSeed(
+        spec.machine.schedPolicy, spec.machine.schedSeed);
+    return spec;
+}
+
 void
 applySpecToDriverOptions(const ExperimentSpec &spec, DriverOptions &opts)
 {

@@ -128,6 +128,19 @@ void validateSpec(const ExperimentSpec &spec);
 SweepGrid specGrid(const ExperimentSpec &spec);
 
 /**
+ * The single-job spec: an ExperimentSpec whose grid expands to exactly
+ * @p job — the wire form the experiment service leases jobs in
+ * (serialize on the server, parse + expand on the worker). The result
+ * validates and round-trips: expandGrid(specGrid(specForJob(job)))
+ * yields one job with a fingerprint equal to fingerprintJob(job).
+ * Requires @p job's profiles/workload to be registry-resolvable (true
+ * for every job a spec produced); the scheduler seed is canonicalized
+ * (dropped for deterministic policies) exactly like the fingerprint.
+ * Throws std::invalid_argument for non-registry workloads.
+ */
+ExperimentSpec specForJob(const JobSpec &job);
+
+/**
  * Apply @p spec's execution-relevant settings (frontend -> trace-dir)
  * to @p opts. Jobs/cache settings stay CLI-level: they affect how a
  * batch executes, never what it computes.
