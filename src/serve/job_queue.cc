@@ -312,6 +312,17 @@ JobQueue::specFor(JobId id) const
     return jobAt(id).spec;
 }
 
+bool
+JobQueue::trySpecFor(JobId id, JobSpec &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    out = it->second.spec;
+    return true;
+}
+
 QueueJobState
 JobQueue::stateOf(JobId id) const
 {

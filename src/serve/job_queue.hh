@@ -184,6 +184,10 @@ class JobQueue
     /** Spec of @p id (any state). Must be a known id. */
     JobSpec specFor(JobId id) const;
 
+    /** Spec of @p id if the id is known (any state). False otherwise —
+     *  the tolerant variant for ids received off the wire. */
+    bool trySpecFor(JobId id, JobSpec &out) const;
+
     QueueJobState stateOf(JobId id) const;
 
     /**

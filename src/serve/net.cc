@@ -219,9 +219,11 @@ Listener::~Listener()
 }
 
 Listener::Listener(Listener &&other) noexcept
-    : fd_(other.fd_), endpoint_(std::move(other.endpoint_))
+    : fd_(other.fd_), ownsPath_(other.ownsPath_),
+      endpoint_(std::move(other.endpoint_))
 {
     other.fd_ = -1;
+    other.ownsPath_ = false;
 }
 
 Listener &
@@ -230,8 +232,10 @@ Listener::operator=(Listener &&other) noexcept
     if (this != &other) {
         close();
         fd_ = other.fd_;
+        ownsPath_ = other.ownsPath_;
         endpoint_ = std::move(other.endpoint_);
         other.fd_ = -1;
+        other.ownsPath_ = false;
     }
     return *this;
 }
@@ -242,8 +246,12 @@ Listener::close()
     if (fd_ >= 0) {
         ::close(fd_);
         fd_ = -1;
-        if (!endpoint_.tcp && !endpoint_.path.empty())
+        // Only unlink a path this listener actually bound: a listenOn
+        // that failed because another server lives at the path must
+        // not take that server's socket down with it.
+        if (ownsPath_ && !endpoint_.tcp && !endpoint_.path.empty())
             ::unlink(endpoint_.path.c_str());
+        ownsPath_ = false;
     }
 }
 
@@ -296,6 +304,7 @@ Listener::listenOn(const Endpoint &ep)
                        sizeof(addr)) != 0)
                 throwErrno("bind " + ep.path);
         }
+        l.ownsPath_ = true;
     }
     if (::listen(l.fd_, 64) != 0)
         throwErrno("listen " + ep.text());

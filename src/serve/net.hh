@@ -110,11 +110,14 @@ class Listener
      */
     Socket accept(int timeoutMs);
 
-    /** Close the socket; unlinks the path for Unix listeners. */
+    /** Close the socket; unlinks the path for Unix listeners whose
+     *  bind succeeded (a failed listenOn never unlinks — the path may
+     *  belong to a live server). */
     void close();
 
   private:
     int fd_ = -1;
+    bool ownsPath_ = false; ///< we bound the Unix path; close() unlinks
     Endpoint endpoint_;
 };
 

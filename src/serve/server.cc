@@ -111,13 +111,7 @@ Server::stop()
     if (acceptThread_.joinable())
         acceptThread_.join();
     listener_.close();
-    {
-        std::lock_guard<std::mutex> lock(connsMutex_);
-        for (std::thread &t : conns_)
-            if (t.joinable())
-                t.join();
-        conns_.clear();
-    }
+    reapConnections(/*join_all=*/true);
     if (reaperThread_.joinable())
         reaperThread_.join();
     for (std::thread &t : localWorkers_)
@@ -133,9 +127,28 @@ Server::finished() const
 }
 
 void
+Server::reapConnections(bool join_all)
+{
+    std::lock_guard<std::mutex> lock(connsMutex_);
+    auto it = conns_.begin();
+    while (it != conns_.end()) {
+        if (join_all || it->done->load()) {
+            if (it->thread.joinable())
+                it->thread.join();
+            it = conns_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
 Server::acceptLoop()
 {
     while (!stop_) {
+        // Join connections that finished since the last pass — a
+        // persistent server must not accumulate joinable threads.
+        reapConnections(/*join_all=*/false);
         Socket sock;
         try {
             sock = listener_.accept(
@@ -147,10 +160,15 @@ Server::acceptLoop()
         }
         if (!sock.valid())
             continue;
-        std::lock_guard<std::mutex> lock(connsMutex_);
-        conns_.emplace_back(
-            [this](Socket s) { handleConnection(std::move(s)); },
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        std::thread thread(
+            [this, done](Socket s) {
+                handleConnection(std::move(s));
+                done->store(true);
+            },
             std::move(sock));
+        std::lock_guard<std::mutex> lock(connsMutex_);
+        conns_.push_back(Conn{std::move(thread), std::move(done)});
     }
 }
 
@@ -230,19 +248,35 @@ Server::submitCampaign(const std::string &name, int priority,
         return false;
     }
 
-    std::lock_guard<std::mutex> lock(campaignsMutex_);
-    const auto known = campaigns_.find(name);
-    const bool isNew = known == campaigns_.end();
-    if (!isNew && known->second.canonical != canonical) {
-        response = "err campaign '" + name +
-                   "' already exists with a different spec";
-        return false;
+    // Reserve the name under the lock (an empty campaign with the
+    // canonical text claims it against a concurrent different-spec
+    // submit), then journal and enqueue with the lock released so a
+    // large submission never blocks status/results/cancel.
+    bool isNew = false;
+    {
+        std::lock_guard<std::mutex> lock(campaignsMutex_);
+        const auto known = campaigns_.find(name);
+        isNew = known == campaigns_.end();
+        if (!isNew && known->second.canonical != canonical) {
+            response = "err campaign '" + name +
+                       "' already exists with a different spec";
+            return false;
+        }
+        if (isNew) {
+            Campaign placeholder;
+            placeholder.canonical = canonical;
+            placeholder.priority = priority;
+            campaigns_.emplace(name, std::move(placeholder));
+        }
     }
 
     // Journal before enqueueing: a crash between the two replays the
     // submit and reconstructs the jobs; the reverse order could accept
     // (and answer ok for) a campaign a restart would forget. Journal
-    // the canonical text so replay parses the exact same spec.
+    // the canonical text so replay parses the exact same spec. (A
+    // cancel racing this submit may journal first and cancel nothing —
+    // replay then resubmits in full, matching what the live cancel
+    // observed.)
     if (!from_journal && isNew) {
         Request rec;
         rec.kind = Request::Kind::kSubmit;
@@ -286,8 +320,14 @@ Server::submitCampaign(const std::string &name, int priority,
             }
         }
     }
-    if (isNew)
-        campaigns_.emplace(name, std::move(campaign));
+    // Store (or refresh) the id mapping even for a known campaign:
+    // failed/cancelled twins deliberately don't dedup, so a resubmit
+    // enqueues fresh retry jobs whose ids must replace the settled
+    // ones — otherwise results would stream the stale failures forever.
+    {
+        std::lock_guard<std::mutex> lock(campaignsMutex_);
+        campaigns_[name] = std::move(campaign);
+    }
 
     response = "ok submitted " + escapeToken(name) + " jobs=" +
                std::to_string(jobs.size()) + " new=" +
@@ -369,6 +409,14 @@ void
 Server::handleDone(const std::string &worker, JobId id,
                    const std::string &payload, Socket &sock)
 {
+    // An id this queue never issued (a confused or malicious client)
+    // is stale, exactly like heartbeat/complete/fail treat it — it
+    // must never reach an asserting accessor.
+    JobSpec spec;
+    if (!queue_.trySpecFor(id, spec)) {
+        sock.writeAll("err stale\n");
+        return;
+    }
     JobResult result;
     if (!decodeJobResult(payload, result)) {
         // An undecodable payload is a worker-side defect: retry the
@@ -382,7 +430,7 @@ Server::handleDone(const std::string &worker, JobId id,
     // from *this* cache.
     if (result.ok() && cache_) {
         try {
-            cache_->store(fingerprintJob(queue_.specFor(id)), result.exp);
+            cache_->store(fingerprintJob(spec), result.exp);
         } catch (const std::exception &e) {
             warn("cache store for job " + std::to_string(id) +
                  " failed: " + e.what());

@@ -146,6 +146,14 @@ class Server
         std::vector<JobId> ids;     ///< parallel to specs
     };
 
+    /** One connection-handler thread plus its finished flag, so the
+     *  accept loop can join (reap) it long before shutdown. */
+    struct Conn
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
     void acceptLoop();
     void reaperLoop();
     void localWorkerLoop(int index);
@@ -156,6 +164,7 @@ class Server
     void streamResults(Socket &sock, const std::string &name, bool json,
                        bool wait);
     void journalRequest(const std::string &line);
+    void reapConnections(bool join_all);
 
     ServerOptions opts_;
     Endpoint endpoint_;
@@ -179,7 +188,7 @@ class Server
     std::unique_ptr<std::atomic<JobId>[]> localCurrent_;
 
     std::mutex connsMutex_;
-    std::vector<std::thread> conns_;
+    std::vector<Conn> conns_;
     bool started_ = false;
 };
 

@@ -569,6 +569,29 @@ TEST(Journal, ReplayDropsTornTrailingLine)
     std::filesystem::remove_all(dir);
 }
 
+// ---- net (regression) -------------------------------------------------------
+
+TEST(Net, SecondListenerDoesNotUnlinkLiveSocket)
+{
+    const std::string dir = makeTempDir("net");
+    serve::Endpoint ep;
+    ep.path = dir + "/sock";
+
+    serve::Listener live = serve::Listener::listenOn(ep);
+    // A second server on the same path must refuse to start — and the
+    // refusal must not tear down the live server's socket path.
+    EXPECT_THROW(serve::Listener::listenOn(ep), std::runtime_error);
+    EXPECT_TRUE(std::filesystem::exists(ep.path));
+    serve::Socket client = serve::connectTo(ep); // still reachable
+    EXPECT_TRUE(client.valid());
+
+    // The live listener's own close still cleans the path up.
+    client.close();
+    live.close();
+    EXPECT_FALSE(std::filesystem::exists(ep.path));
+    std::filesystem::remove_all(dir);
+}
+
 // ---- end-to-end over the socket ---------------------------------------------
 
 /** One request over a fresh connection; returns the first reply line. */
@@ -626,6 +649,65 @@ waitForSettled(serve::Server &server, std::size_t n)
             << "jobs did not settle in time";
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
+}
+
+TEST(ServeEndToEnd, DoneForUnknownJobIsStaleNotFatal)
+{
+    const std::string dir = makeTempDir("bogus-done");
+    serve::ServerOptions opts;
+    opts.endpoint.path = dir + "/sock";
+    opts.driver.cacheDir = dir + "/cache"; // cache on: the crash path
+    opts.localWorkers = 0;
+    serve::Server server(opts);
+    server.start();
+
+    // A done for an id the queue never issued must be rejected as
+    // stale — with a well-formed ok payload it used to hit an
+    // asserting spec lookup on the cache-store path and abort the
+    // whole server.
+    Request done;
+    done.kind = Request::Kind::kDone;
+    done.worker = "rogue";
+    done.jobId = 424242;
+    done.payload = serve::encodeJobResult(okResult());
+    EXPECT_EQ(requestLine(server.endpoint(),
+                          serve::serializeRequest(done)),
+              "err stale");
+
+    // The server survived and still answers.
+    const std::string pong = requestLine(server.endpoint(), "ping");
+    EXPECT_EQ(pong.rfind("ok pong", 0), 0u) << pong;
+    server.stop();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServeEndToEnd, ResubmitAfterCancelTracksRetryJobs)
+{
+    const std::string dir = makeTempDir("resubmit");
+    serve::ServerOptions opts;
+    opts.endpoint.path = dir + "/sock";
+    opts.localWorkers = 0; // jobs stay pending: cancel can reach them
+    serve::Server server(opts);
+    server.start();
+
+    const std::string specText = "profiles = cholesky\nthreads = 2\n";
+    std::string response;
+    ASSERT_TRUE(server.submitCampaign("camp", 0, specText, response));
+    EXPECT_EQ(response,
+              "ok submitted camp jobs=1 new=1 deduped=0 cached=0");
+    EXPECT_EQ(server.cancelCampaign("camp"), 1u);
+
+    // Cancelled twins don't dedup: the resubmit enqueues a fresh
+    // retry job, and the campaign must track the retry's id — not
+    // keep streaming the settled cancellation forever.
+    ASSERT_TRUE(server.submitCampaign("camp", 0, specText, response));
+    EXPECT_EQ(response,
+              "ok submitted camp jobs=1 new=1 deduped=0 cached=0");
+    EXPECT_NE(server.statusText().find("campaign camp jobs=1 settled=0"),
+              std::string::npos)
+        << server.statusText();
+    server.stop();
+    std::filesystem::remove_all(dir);
 }
 
 TEST(ServeEndToEnd, CampaignMatchesBatchDriverAndDedupes)
