@@ -3,10 +3,12 @@
 
 Two kinds of check, per (ncores, nthreads) config:
 
-* determinism: `events`, `sim_cycles` and `nthreads` must match the
-  baseline EXACTLY. The simulator is deterministic — a drift here is a
+* determinism: `events`, `sim_cycles`, `nthreads` and the engine
+  counters (`wakes`, `preemptions`, `heap_ops`) must match the baseline
+  EXACTLY. The simulator is deterministic — a drift here is a
   behavioural change that must be reviewed (and, if intended, the
   baseline regenerated with --update), never a flaky perf blip.
+  Counters absent from the baseline (older format) are skipped.
 * throughput: `events_per_sec` must be within --tolerance (default 15%)
   of the baseline. Only a slowdown fails; faster is fine (and worth
   refreshing the baseline for, so future regressions are caught from
@@ -68,7 +70,11 @@ def main():
         if c is None:
             failures.append(f"ncores={ncores}: missing from current run")
             continue
-        for key in ("nthreads", "events", "sim_cycles"):
+        deterministic = ("nthreads", "events", "sim_cycles",
+                         "wakes", "preemptions", "heap_ops")
+        for key in deterministic:
+            if key not in b:
+                continue  # older baseline without the engine counters
             if c.get(key) != b.get(key):
                 failures.append(
                     f"ncores={ncores}: {key} drifted "

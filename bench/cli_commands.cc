@@ -29,6 +29,8 @@
 #include "sched/policy.hh"
 #include "spec/registries.hh"
 #include "spec/spec.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/span.hh"
 #include "trace/trace_run.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
@@ -139,14 +141,33 @@ printBatchStats(const ExperimentDriver &driver)
         stats.tracesRecorded, driver.workerCount());
 }
 
-/** Run a grid, print, export — the tail shared by sweep and run. */
+/** Run a grid, print, export — the tail shared by sweep and run.
+ *  A non-empty @p trace_out enables telemetry for the batch and writes
+ *  a Chrome trace_event JSON of every job/driver span afterwards;
+ *  results are bit-identical either way (telemetry is write-only). */
 int
 executeBatch(const SweepGrid &grid, const DriverOptions &opts, bool quiet,
-             const std::string &csv_path, const std::string &json_path)
+             const std::string &csv_path, const std::string &json_path,
+             const std::string &trace_out)
 {
+    const bool tracing = !trace_out.empty();
+    if (tracing) {
+        telemetry::Registry::global().setEnabled(true);
+        telemetry::SpanTracer::global().setEnabled(true);
+    }
+
     const std::vector<JobSpec> jobs = expandGrid(grid);
     ExperimentDriver driver(opts);
     const std::vector<JobResult> results = driver.runBatch(jobs);
+
+    if (tracing) {
+        telemetry::SpanTracer &tracer = telemetry::SpanTracer::global();
+        tracer.setEnabled(false);
+        if (tracer.dropped() > 0)
+            warn("cli", std::to_string(tracer.dropped()) +
+                            " spans dropped (ring buffer full)");
+        writeFile(trace_out, tracer.chromeTraceJson());
+    }
 
     if (!quiet)
         printBatchTable(jobs, results, !grid.cores.empty(),
@@ -194,6 +215,9 @@ sweepUsage()
         "  --sched-seed K          RNG stream for --sched random\n"
         "  --csv FILE              write results as CSV\n"
         "  --json FILE             write results as JSON\n"
+        "  --trace-out FILE        write a Chrome trace_event JSON of\n"
+        "                          the batch (load in Perfetto /\n"
+        "                          chrome://tracing)\n"
         "  --quiet                 suppress the result table\n"
         "scheduler policies: %s\n",
         allSchedPolicyLabelsJoined().c_str());
@@ -429,6 +453,9 @@ runUsage()
         "  --refresh               re-run and overwrite cached results\n"
         "  --csv FILE              write CSV (overrides output.csv)\n"
         "  --json FILE             write JSON (overrides output.json)\n"
+        "  --trace-out FILE        write a Chrome trace_event JSON of\n"
+        "                          the batch (load in Perfetto /\n"
+        "                          chrome://tracing)\n"
         "  --quiet                 suppress the result table\n"
         "spec keys: %s\n",
         specKeyNamesJoined().c_str());
@@ -908,6 +935,52 @@ submitImpl(int argc, char **argv, int first)
     return streamCampaign(ep, name, json, /*wait=*/true, csvPath);
 }
 
+void
+metricsUsage()
+{
+    std::printf(
+        "usage: sst metrics [ENDPOINT]\n"
+        "print the telemetry exposition of a running `sst serve`:\n"
+        "counters, gauges and latency histograms in Prometheus text\n"
+        "format (deterministically ordered)\n"
+        "  ENDPOINT                socket path or tcp:host:port\n"
+        "                          (default: .sst-serve.sock)\n"
+        "  --connect ENDPOINT      same, as a flag\n");
+}
+
+int
+metricsImpl(int argc, char **argv, int first)
+{
+    std::string endpoint = ".sst-serve.sock";
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--connect") {
+            endpoint = argValue(argc, argv, i);
+        } else if (arg == "--help" || arg == "-h") {
+            metricsUsage();
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-') {
+            endpoint = arg;
+        } else {
+            metricsUsage();
+            fatal("unknown argument '" + arg + "'");
+        }
+    }
+
+    serve::Request req;
+    req.kind = serve::Request::Kind::kMetrics;
+    serve::Socket sock =
+        clientRequest(serve::parseEndpoint(endpoint), req);
+    std::string line;
+    if (!sock.readLine(line))
+        fatal("server closed the connection");
+    if (line.rfind("ok metrics", 0) != 0)
+        fatal(line);
+    while (sock.readLine(line) && line != "end")
+        std::printf("%s\n", line.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -921,7 +994,7 @@ sweepMain(int argc, char **argv, int first)
     DriverOptions opts;
     opts.jobs = 0; // hardware concurrency
     opts.cacheDir = ".sst-cache";
-    std::string csvPath, jsonPath;
+    std::string csvPath, jsonPath, traceOutPath;
     bool quiet = false;
 
     try {
@@ -967,6 +1040,8 @@ sweepMain(int argc, char **argv, int first)
                 csvPath = argValue(argc, argv, i);
             } else if (arg == "--json") {
                 jsonPath = argValue(argc, argv, i);
+            } else if (arg == "--trace-out") {
+                traceOutPath = argValue(argc, argv, i);
             } else if (arg == "--quiet") {
                 quiet = true;
             } else if (arg == "--help" || arg == "-h") {
@@ -993,7 +1068,8 @@ sweepMain(int argc, char **argv, int first)
         if (!grid.workloads.empty() && !profiles_given)
             grid.profiles.clear();
 
-        return executeBatch(grid, opts, quiet, csvPath, jsonPath);
+        return executeBatch(grid, opts, quiet, csvPath, jsonPath,
+                            traceOutPath);
     } catch (const std::exception &e) {
         fatal(e.what());
     }
@@ -1034,7 +1110,7 @@ runMain(int argc, char **argv, int first)
     std::vector<std::pair<std::string, std::string>> overrides;
     bool printSpec = false;
     bool quiet = false;
-    std::string csvPath, jsonPath;
+    std::string csvPath, jsonPath, traceOutPath;
 
     DriverOptions opts;
     opts.jobs = 0; // hardware concurrency
@@ -1072,6 +1148,8 @@ runMain(int argc, char **argv, int first)
                 csvPath = argValue(argc, argv, i);
             } else if (arg == "--json") {
                 jsonPath = argValue(argc, argv, i);
+            } else if (arg == "--trace-out") {
+                traceOutPath = argValue(argc, argv, i);
             } else if (arg == "--quiet") {
                 quiet = true;
             } else if (arg == "--help" || arg == "-h") {
@@ -1101,7 +1179,8 @@ runMain(int argc, char **argv, int first)
 
         return executeBatch(grid, opts, quiet || spec.quiet,
                             csvPath.empty() ? spec.csvPath : csvPath,
-                            jsonPath.empty() ? spec.jsonPath : jsonPath);
+                            jsonPath.empty() ? spec.jsonPath : jsonPath,
+                            traceOutPath);
     } catch (const std::exception &e) {
         fatal(e.what());
     }
@@ -1150,6 +1229,16 @@ submitMain(int argc, char **argv, int first)
 {
     try {
         return submitImpl(argc, argv, first);
+    } catch (const std::exception &e) {
+        fatal(e.what());
+    }
+}
+
+int
+metricsMain(int argc, char **argv, int first)
+{
+    try {
+        return metricsImpl(argc, argv, first);
     } catch (const std::exception &e) {
         fatal(e.what());
     }

@@ -38,6 +38,9 @@ int workerMain(int argc, char **argv, int first);
 /** `sst submit`: client for a running server (submit/results/...). */
 int submitMain(int argc, char **argv, int first);
 
+/** `sst metrics ENDPOINT`: stream a live server's telemetry text. */
+int metricsMain(int argc, char **argv, int first);
+
 /** `sst --version`: print every persisted-format version. */
 int versionMain();
 

@@ -41,6 +41,9 @@ struct Measurement
     int nthreads = 0;
     std::uint64_t events = 0;
     std::uint64_t simCycles = 0;
+    std::uint64_t wakes = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t heapOps = 0;
     double bestSeconds = 0.0;
 
     double
@@ -73,6 +76,9 @@ measure(int ncores, int repeat)
             m.bestSeconds = s;
         m.events = res.engineEvents;
         m.simCycles = res.executionTime;
+        m.wakes = res.engineWakes;
+        m.preemptions = res.enginePreemptions;
+        m.heapOps = res.engineHeapOps;
     }
     return m;
 }
@@ -94,6 +100,9 @@ toJson(const std::vector<Measurement> &ms, int repeat)
                ", \"nthreads\": " + std::to_string(m.nthreads) +
                ", \"events\": " + std::to_string(m.events) +
                ", \"sim_cycles\": " + std::to_string(m.simCycles) +
+               ", \"wakes\": " + std::to_string(m.wakes) +
+               ", \"preemptions\": " + std::to_string(m.preemptions) +
+               ", \"heap_ops\": " + std::to_string(m.heapOps) +
                ", \"best_seconds\": " + sst::fmtDouble(m.bestSeconds, 6) +
                ", \"events_per_sec\": " +
                sst::fmtDouble(m.eventsPerSec(), 1) + "}";

@@ -43,6 +43,8 @@ constexpr Command kCommands[] = {
      sst::cli::workerMain},
     {"submit", "submit campaigns / fetch results from a server",
      sst::cli::submitMain},
+    {"metrics", "stream telemetry from a running server",
+     sst::cli::metricsMain},
 };
 
 void

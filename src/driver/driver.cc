@@ -1,5 +1,7 @@
 #include "driver.hh"
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <mutex>
 #include <set>
@@ -12,6 +14,8 @@
 #include "driver/fingerprint.hh"
 #include "driver/result_cache.hh"
 #include "serve/job_queue.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/span.hh"
 #include "trace/trace_run.hh"
 
 namespace sst {
@@ -120,19 +124,32 @@ runOneJob(const DriverOptions &opts, const JobSpec &spec,
           BaselineStore &baselines, ResultCache *cache,
           TraceReaderCache &traces, TraceRecordClaims &records)
 {
+    telemetry::Registry &registry = telemetry::Registry::global();
+    telemetry::ScopedSpan jobSpan("job", "driver");
     JobResult res;
     try {
-        validateSpec(spec);
+        {
+            telemetry::ScopedSpan span("validate", "driver");
+            validateSpec(spec);
+        }
         const Fingerprint fp = fingerprintJob(spec);
         if (cache && !opts.refresh) {
             SpeedupExperiment hit;
             if (cache->lookup(fp, hit)) {
                 // Cache hits never re-simulate, so they also never
                 // record: --record-dir captures only fresh runs.
+                registry
+                    .counter("sst_driver_cache_lookups_total",
+                             {{"outcome", "hit"}})
+                    .inc();
                 res.status = JobStatus::kCached;
                 res.exp = std::move(hit);
                 return res;
             }
+            registry
+                .counter("sst_driver_cache_lookups_total",
+                         {{"outcome", "miss"}})
+                .inc();
         }
 
         const WorkloadSpec workload = spec.effectiveWorkload();
@@ -198,53 +215,64 @@ runOneJob(const DriverOptions &opts, const JobSpec &spec,
         // baseline with homogeneous sweeps of the same profile).
         std::vector<RunResult> group_bases;
         group_bases.reserve(workload.groups.size());
-        for (std::size_t g = 0; g < workload.groups.size(); ++g) {
-            const BenchmarkProfile &profile = workload.groups[g].profile;
-            const int group = static_cast<int>(g);
-            auto compute = [&]() -> RunResult {
-                if (reader)
-                    return replayBaseline(spec.params, *reader, group);
-                return runSingleThreaded(spec.params, profile);
-            };
-            if (opts.shareBaselines) {
-                group_bases.push_back(baselines.get(
-                    fingerprintProfileBaseline(spec.params, profile)
-                        .canonical,
-                    compute));
-            } else {
-                group_bases.push_back(compute());
+        {
+            telemetry::ScopedSpan baselineSpan("baseline", "driver");
+            for (std::size_t g = 0; g < workload.groups.size(); ++g) {
+                const BenchmarkProfile &profile =
+                    workload.groups[g].profile;
+                const int group = static_cast<int>(g);
+                auto compute = [&]() -> RunResult {
+                    if (reader)
+                        return replayBaseline(spec.params, *reader,
+                                              group);
+                    return runSingleThreaded(spec.params, profile);
+                };
+                if (opts.shareBaselines) {
+                    group_bases.push_back(baselines.get(
+                        fingerprintProfileBaseline(spec.params, profile)
+                            .canonical,
+                        compute));
+                } else {
+                    group_bases.push_back(compute());
+                }
             }
         }
 
         // The parallel run: recorded replay or live generation (with
         // the capture shim around it when this job records).
         RunResult parallel;
-        if (reader) {
-            parallel = replayParallel(spec.params, *reader);
-        } else if (writer) {
-            const OpSourceFactory inner = workloadOpSources(workload);
-            const ThreadTopology topo =
-                workload.topology(spec.ncoresEffective());
-            parallel = simulateSources(
-                spec.params,
-                [&](ThreadId tid, int n) -> std::unique_ptr<OpSource> {
-                    return std::make_unique<RecordingSource>(
-                        inner(tid, n), *writer, tid);
-                },
-                nthreads, spec.ncores, &topo);
-            writer->writeFile(record_path);
-            res.traceRecorded = true;
-        } else {
-            parallel = simulateWorkload(spec.params, workload,
-                                        spec.ncores);
+        {
+            telemetry::ScopedSpan simSpan("simulate", "driver");
+            if (reader) {
+                parallel = replayParallel(spec.params, *reader);
+            } else if (writer) {
+                const OpSourceFactory inner = workloadOpSources(workload);
+                const ThreadTopology topo =
+                    workload.topology(spec.ncoresEffective());
+                parallel = simulateSources(
+                    spec.params,
+                    [&](ThreadId tid,
+                        int n) -> std::unique_ptr<OpSource> {
+                        return std::make_unique<RecordingSource>(
+                            inner(tid, n), *writer, tid);
+                    },
+                    nthreads, spec.ncores, &topo);
+                writer->writeFile(record_path);
+                res.traceRecorded = true;
+            } else {
+                parallel = simulateWorkload(spec.params, workload,
+                                            spec.ncores);
+            }
         }
 
         SpeedupExperiment exp = assembleExperiment(
             workload.label(), nthreads, spec.params,
             combineGroupBaselines(group_bases), std::move(parallel));
         res.tracedReplay = reader != nullptr;
-        if (cache)
+        if (cache) {
+            telemetry::ScopedSpan storeSpan("cache-store", "driver");
             cache->store(fp, exp);
+        }
         res.status = JobStatus::kOk;
         res.exp = std::move(exp);
     } catch (const std::exception &e) {
@@ -277,8 +305,33 @@ JobExecutor::~JobExecutor() = default;
 JobResult
 JobExecutor::run(const JobSpec &spec)
 {
-    return runOneJob(impl_->opts, spec, impl_->baselines, impl_->cache,
-                     impl_->traces, impl_->records);
+    telemetry::Registry &registry = telemetry::Registry::global();
+    const bool instrumented = registry.enabled();
+    const auto start = instrumented
+                           ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+    JobResult res = runOneJob(impl_->opts, spec, impl_->baselines,
+                              impl_->cache, impl_->traces,
+                              impl_->records);
+    if (instrumented) {
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        registry
+            .histogram("sst_driver_job_seconds", {},
+                       {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+                        10.0, 60.0})
+            .observe(seconds);
+        const char *status = res.status == JobStatus::kOk ? "ok"
+                             : res.status == JobStatus::kCached
+                                 ? "cached"
+                                 : "failed";
+        registry
+            .counter("sst_driver_jobs_total", {{"status", status}})
+            .inc();
+    }
+    return res;
 }
 
 std::size_t
@@ -335,10 +388,21 @@ ExperimentDriver::runBatch(const std::vector<JobSpec> &specs)
         dup[i] = out.deduped;
     }
 
-    auto leaseLoop = [&queue, &executor](const std::string &worker) {
+    // Pool depth gauge: jobs not yet settled. A relaxed atomic updated
+    // per completion — never read back by the batch itself.
+    telemetry::GaugeHandle depthGauge =
+        telemetry::Registry::global().gauge("sst_driver_queue_depth");
+    std::atomic<std::size_t> unsettled{ids.size()};
+    depthGauge.set(static_cast<double>(unsettled.load()));
+
+    auto leaseLoop = [&queue, &executor, &depthGauge,
+                      &unsettled](const std::string &worker) {
         serve::LeasedJob job;
-        while (queue.lease(worker, 0, job))
+        while (queue.lease(worker, 0, job)) {
             queue.complete(job.id, worker, executor.run(job.spec));
+            depthGauge.set(static_cast<double>(
+                unsettled.fetch_sub(1, std::memory_order_relaxed) - 1));
+        }
     };
 
     const int nworkers = workerCount();

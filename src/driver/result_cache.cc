@@ -10,6 +10,7 @@
 #include <sstream>
 #include <unistd.h>
 
+#include "telemetry/metrics.hh"
 #include "util/logging.hh"
 
 namespace sst {
@@ -251,6 +252,23 @@ ResultCache::store(const Fingerprint &fp, const SpeedupExperiment &exp)
 bool
 ResultCache::lookup(const Fingerprint &fp, SpeedupExperiment &out) const
 {
+    bool opened = false;
+    const bool hit = lookupImpl(fp, out, opened);
+    // A "heal": the entry existed but failed validation (corruption,
+    // truncation, hash mismatch) and degraded to a miss — the caller
+    // re-executes and store() overwrites the bad entry. Only this
+    // function can tell a heal from a plain miss.
+    if (!hit && opened)
+        telemetry::Registry::global()
+            .counter("sst_driver_cache_heals_total")
+            .inc();
+    return hit;
+}
+
+bool
+ResultCache::lookupImpl(const Fingerprint &fp, SpeedupExperiment &out,
+                        bool &opened) const
+{
     // Every failure mode of a corrupt or truncated entry — bad magic,
     // wrong hash, an absurd canonical-bytes value, malformed metric
     // lines, a missing end sentinel — is a miss, never a crash: the
@@ -259,6 +277,7 @@ ResultCache::lookup(const Fingerprint &fp, SpeedupExperiment &out) const
         std::ifstream in(entryPath(fp), std::ios::binary);
         if (!in)
             return false;
+        opened = true;
 
         std::string line;
         if (!std::getline(in, line) || line != kMagic)

@@ -79,6 +79,9 @@ class ResultCache
     std::string entryPath(const Fingerprint &fp) const;
 
   private:
+    bool lookupImpl(const Fingerprint &fp, SpeedupExperiment &out,
+                    bool &opened) const;
+
     std::string dir_;
     std::mutex writeMutex_;
 };

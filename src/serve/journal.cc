@@ -5,11 +5,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/metrics.hh"
 #include "util/logging.hh"
 
 namespace sst {
@@ -50,10 +52,20 @@ Journal::append(const std::string &line)
         }
         off += static_cast<std::size_t>(n);
     }
+    telemetry::HistogramHandle fsyncHist =
+        telemetry::Registry::global().histogram(
+            "sst_serve_journal_fsync_seconds", {},
+            {0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0});
+    const auto start = fsyncHist ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
     if (::fsync(fd_) != 0) {
         throw std::runtime_error("journal fsync failed: " +
                                  std::string(std::strerror(errno)));
     }
+    if (fsyncHist)
+        fsyncHist.observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
 }
 
 std::vector<std::string>

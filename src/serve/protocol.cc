@@ -12,8 +12,9 @@ namespace {
 constexpr const char *kEmptyToken = "\\e";
 
 const char *kKindNames[] = {
-    "submit", "status", "results", "cancel", "drain",
-    "ping",   "lease",  "heartbeat", "done", "fail",
+    "submit", "status", "results",   "cancel", "drain",
+    "ping",   "lease",  "heartbeat", "done",   "fail",
+    "metrics",
 };
 
 std::string
@@ -185,6 +186,7 @@ serializeRequest(const Request &req)
     case Request::Kind::kStatus:
     case Request::Kind::kDrain:
     case Request::Kind::kPing:
+    case Request::Kind::kMetrics:
         break;
     }
     return out;
@@ -257,6 +259,7 @@ parseRequest(const std::string &line)
     case Request::Kind::kStatus:
     case Request::Kind::kDrain:
     case Request::Kind::kPing:
+    case Request::Kind::kMetrics:
         arity(1);
         break;
     }

@@ -21,6 +21,7 @@
  *   cancel <campaign>                          cancel pending jobs
  *   drain                                      stop accepting, finish
  *   ping                                       liveness probe
+ *   metrics                                    stream telemetry text
  *
  * Worker requests:
  *   lease <worker>                 -> ok job <id> <lease-ms> <spec-text>
@@ -76,6 +77,7 @@ struct Request
         kHeartbeat,
         kDone,
         kFail,
+        kMetrics,
     };
 
     Kind kind = Kind::kPing;

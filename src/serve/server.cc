@@ -1,6 +1,7 @@
 #include "server.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <utility>
 
@@ -10,6 +11,8 @@
 #include "serve/journal.hh"
 #include "serve/protocol.hh"
 #include "spec/spec.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/span.hh"
 #include "util/logging.hh"
 
 namespace sst {
@@ -57,6 +60,12 @@ Server::start()
     sstAssert(!started_, "Server::start called twice");
     started_ = true;
 
+    // A live service is always observable: the registry costs one
+    // relaxed atomic per counter bump and the `metrics` verb streams
+    // the exposition. Simulation results are unaffected (telemetry is
+    // write-only for the sim).
+    telemetry::Registry::global().setEnabled(true);
+
     // Replay before listening: the queue is fully reconstructed before
     // any client or worker can observe it. Jobs that completed in a
     // previous life fulfil instantly through the result cache.
@@ -66,8 +75,8 @@ Server::start()
             try {
                 req = parseRequest(line);
             } catch (const std::exception &e) {
-                warn("journal: skipping bad record (" +
-                     std::string(e.what()) + ")");
+                warn("serve", "journal: skipping bad record (" +
+                                  std::string(e.what()) + ")");
                 continue;
             }
             if (req.kind == Request::Kind::kSubmit) {
@@ -75,13 +84,15 @@ Server::start()
                 if (!submitCampaign(req.campaign, req.priority,
                                     req.payload, response,
                                     /*from_journal=*/true))
-                    warn("journal: replay of campaign '" + req.campaign +
-                         "' failed: " + response);
+                    warn("serve", "journal: replay of campaign '" +
+                                      req.campaign +
+                                      "' failed: " + response);
             } else if (req.kind == Request::Kind::kCancel) {
                 cancelCampaign(req.campaign, /*from_journal=*/true);
             } else {
-                warn("journal: skipping non-state record '" +
-                     std::string(requestKindName(req.kind)) + "'");
+                warn("serve",
+                     "journal: skipping non-state record '" +
+                         std::string(requestKindName(req.kind)) + "'");
             }
         }
         journal_ = std::make_unique<Journal>(opts_.journalPath);
@@ -155,7 +166,7 @@ Server::acceptLoop()
                 static_cast<int>(opts_.reaperIntervalMs));
         } catch (const std::exception &e) {
             if (!stop_)
-                warn("accept failed: " + std::string(e.what()));
+                warn("serve", "accept failed: " + std::string(e.what()));
             continue;
         }
         if (!sock.valid())
@@ -178,8 +189,9 @@ Server::reaperLoop()
     while (!stop_) {
         const std::size_t expired = queue_.expireLeases(nowMs());
         if (expired > 0)
-            inform("requeued " + std::to_string(expired) +
-                   " expired lease(s)");
+            inform("serve", "requeued " + std::to_string(expired) +
+                                " expired lease(s)");
+        publishQueueGauges();
         // Local workers never die with the server alive; heartbeat on
         // their behalf so long jobs survive short lease settings.
         for (int i = 0; i < opts_.localWorkers; ++i) {
@@ -205,10 +217,12 @@ Server::localWorkerLoop(int index)
             std::this_thread::sleep_for(std::chrono::milliseconds(20));
             continue;
         }
+        noteLease(name);
         localCurrent_[index] = job.id;
         JobResult result = executor_->run(job.spec);
         localCurrent_[index] = 0;
-        queue_.complete(job.id, name, std::move(result));
+        if (queue_.complete(job.id, name, std::move(result)))
+            noteDone(name);
     }
 }
 
@@ -219,11 +233,103 @@ Server::journalRequest(const std::string &line)
         journal_->append(line);
 }
 
+void
+Server::noteLease(const std::string &worker)
+{
+    {
+        std::lock_guard<std::mutex> lock(workersMutex_);
+        ++workers_[worker].leases;
+    }
+    telemetry::Registry::global()
+        .counter("sst_serve_worker_leases_total", {{"worker", worker}})
+        .inc();
+}
+
+void
+Server::noteDone(const std::string &worker)
+{
+    const std::uint64_t now = nowMs();
+    double rate = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(workersMutex_);
+        WorkerStats &w = workers_[worker];
+        ++w.done;
+        if (w.lastDoneMs != 0) {
+            // EWMA throughput over completion intervals (alpha 0.3);
+            // sub-millisecond intervals clamp to 1 ms.
+            const std::uint64_t delta =
+                now > w.lastDoneMs ? now - w.lastDoneMs : 0;
+            const double inst =
+                1000.0 / static_cast<double>(delta > 0 ? delta : 1);
+            w.ewmaJobsPerSec = w.ewmaJobsPerSec == 0.0
+                                   ? inst
+                                   : 0.3 * inst + 0.7 * w.ewmaJobsPerSec;
+        }
+        w.lastDoneMs = now;
+        rate = w.ewmaJobsPerSec;
+    }
+    telemetry::Registry &registry = telemetry::Registry::global();
+    registry
+        .counter("sst_serve_worker_done_total", {{"worker", worker}})
+        .inc();
+    registry.counter("sst_serve_jobs_done_total").inc();
+    registry
+        .gauge("sst_serve_worker_jobs_per_sec", {{"worker", worker}})
+        .set(rate);
+}
+
+void
+Server::noteFail(const std::string &worker)
+{
+    {
+        std::lock_guard<std::mutex> lock(workersMutex_);
+        ++workers_[worker].failed;
+    }
+    telemetry::Registry::global()
+        .counter("sst_serve_worker_fail_total", {{"worker", worker}})
+        .inc();
+}
+
+void
+Server::publishQueueGauges() const
+{
+    telemetry::Registry &registry = telemetry::Registry::global();
+    if (!registry.enabled())
+        return;
+    const QueueStats stats = queue_.stats();
+    const struct
+    {
+        const char *state;
+        std::size_t value;
+    } kGauges[] = {
+        {"pending", stats.pending},     {"leased", stats.leased},
+        {"done", stats.done},           {"failed", stats.failed},
+        {"cancelled", stats.cancelled},
+    };
+    for (const auto &g : kGauges)
+        registry.gauge("sst_serve_queue_jobs", {{"state", g.state}})
+            .set(static_cast<double>(g.value));
+    registry.gauge("sst_serve_queue_submitted")
+        .set(static_cast<double>(stats.submitted));
+    registry.gauge("sst_serve_queue_deduped")
+        .set(static_cast<double>(stats.deduped));
+    registry.gauge("sst_serve_queue_requeues")
+        .set(static_cast<double>(stats.requeues));
+}
+
+std::string
+Server::metricsText() const
+{
+    publishQueueGauges();
+    return telemetry::Registry::global().renderText();
+}
+
 bool
 Server::submitCampaign(const std::string &name, int priority,
                        const std::string &spec_text,
                        std::string &response, bool from_journal)
 {
+    telemetry::ScopedSpan span("submit", "serve");
     if (name.empty()) {
         response = "err campaign name must not be empty";
         return false;
@@ -290,6 +396,7 @@ Server::submitCampaign(const std::string &name, int priority,
     Campaign campaign;
     campaign.canonical = canonical;
     campaign.priority = priority;
+    telemetry::ScopedSpan enqueueSpan("enqueue", "serve");
     for (const JobSpec &job : jobs) {
         const SubmitOutcome outcome =
             queue_.submit(job, priority, nowMs());
@@ -372,16 +479,47 @@ Server::statusText() const
     out += "submitted " + std::to_string(stats.submitted) + "\n";
     out += "deduped " + std::to_string(stats.deduped) + "\n";
     out += "requeues " + std::to_string(stats.requeues) + "\n";
-    std::lock_guard<std::mutex> lock(campaignsMutex_);
-    for (const auto &entry : campaigns_) {
+
+    // Snapshot the campaign table under the lock, then settle-check
+    // against the queue with it released: settled() is O(total jobs)
+    // worth of queue-mutex traffic and campaignsMutex_ is on submit's
+    // path — holding both serialized large submits behind status polls.
+    struct CampaignRow
+    {
+        std::string name;
+        std::vector<JobId> ids;
+        int priority;
+    };
+    std::vector<CampaignRow> rows;
+    {
+        std::lock_guard<std::mutex> lock(campaignsMutex_);
+        rows.reserve(campaigns_.size());
+        for (const auto &entry : campaigns_)
+            rows.push_back(CampaignRow{entry.first, entry.second.ids,
+                                       entry.second.priority});
+    }
+    for (const CampaignRow &row : rows) {
         std::size_t settled = 0;
-        for (const JobId id : entry.second.ids)
+        for (const JobId id : row.ids)
             if (queue_.settled(id))
                 ++settled;
-        out += "campaign " + escapeToken(entry.first) + " jobs=" +
-               std::to_string(entry.second.ids.size()) + " settled=" +
+        out += "campaign " + escapeToken(row.name) + " jobs=" +
+               std::to_string(row.ids.size()) + " settled=" +
                std::to_string(settled) + " priority=" +
-               std::to_string(entry.second.priority) + "\n";
+               std::to_string(row.priority) + "\n";
+    }
+
+    // Per-worker throughput (std::map order: deterministic).
+    std::lock_guard<std::mutex> lock(workersMutex_);
+    for (const auto &entry : workers_) {
+        char rate[32];
+        std::snprintf(rate, sizeof(rate), "%.3f",
+                      entry.second.ewmaJobsPerSec);
+        out += "worker " + escapeToken(entry.first) + " leases=" +
+               std::to_string(entry.second.leases) + " done=" +
+               std::to_string(entry.second.done) + " failed=" +
+               std::to_string(entry.second.failed) + " rate=" + rate +
+               "\n";
     }
     return out;
 }
@@ -389,8 +527,10 @@ Server::statusText() const
 void
 Server::handleLease(Socket &sock, const std::string &worker)
 {
+    telemetry::ScopedSpan span("lease", "serve");
     LeasedJob job;
     if (queue_.lease(worker, nowMs(), job)) {
+        noteLease(worker);
         const std::string specText =
             serializeSpec(specForJob(job.spec));
         sock.writeAll("ok job " + std::to_string(job.id) + " " +
@@ -409,6 +549,7 @@ void
 Server::handleDone(const std::string &worker, JobId id,
                    const std::string &payload, Socket &sock)
 {
+    telemetry::ScopedSpan span("done", "serve");
     // An id this queue never issued (a confused or malicious client)
     // is stale, exactly like heartbeat/complete/fail treat it — it
     // must never reach an asserting accessor.
@@ -421,7 +562,9 @@ Server::handleDone(const std::string &worker, JobId id,
     if (!decodeJobResult(payload, result)) {
         // An undecodable payload is a worker-side defect: retry the
         // job elsewhere rather than settling it with garbage.
-        queue_.fail(id, worker, "undecodable result payload", nowMs());
+        if (queue_.fail(id, worker, "undecodable result payload",
+                        nowMs()) != FailOutcome::kStale)
+            noteFail(worker);
         sock.writeAll("err undecodable result payload\n");
         return;
     }
@@ -432,14 +575,16 @@ Server::handleDone(const std::string &worker, JobId id,
         try {
             cache_->store(fingerprintJob(spec), result.exp);
         } catch (const std::exception &e) {
-            warn("cache store for job " + std::to_string(id) +
-                 " failed: " + e.what());
+            warn("serve", "cache store for job " + std::to_string(id) +
+                              " failed: " + e.what());
         }
     }
-    if (queue_.complete(id, worker, std::move(result)))
+    if (queue_.complete(id, worker, std::move(result))) {
+        noteDone(worker);
         sock.writeAll("ok\n");
-    else
+    } else {
         sock.writeAll("err stale\n");
+    }
 }
 
 void
@@ -521,22 +666,29 @@ Server::handleConnection(Socket sock)
         case Request::Kind::kLease:
             handleLease(sock, req.worker);
             break;
-        case Request::Kind::kHeartbeat:
+        case Request::Kind::kHeartbeat: {
+            telemetry::ScopedSpan span("heartbeat", "serve");
             sock.writeAll(queue_.heartbeat(req.jobId, req.worker, nowMs())
                               ? "ok\n"
                               : "err stale\n");
             break;
+        }
         case Request::Kind::kDone:
             handleDone(req.worker, req.jobId, req.payload, sock);
             break;
         case Request::Kind::kFail: {
             const FailOutcome outcome = queue_.fail(
                 req.jobId, req.worker, req.payload, nowMs());
+            if (outcome != FailOutcome::kStale)
+                noteFail(req.worker);
             sock.writeAll(outcome == FailOutcome::kRequeued ? "ok requeued\n"
                           : outcome == FailOutcome::kFailed ? "ok failed\n"
                                                             : "err stale\n");
             break;
         }
+        case Request::Kind::kMetrics:
+            sock.writeAll("ok metrics\n" + metricsText() + "end\n");
+            break;
         }
         sock.shutdownWrite();
     } catch (const std::exception &e) {

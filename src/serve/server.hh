@@ -131,6 +131,10 @@ class Server
     /** Multi-line status block (no terminating `end` line). */
     std::string statusText() const;
 
+    /** Telemetry exposition text (the `metrics` verb body): queue
+     *  gauges refreshed, then the registry's deterministic render. */
+    std::string metricsText() const;
+
     /** The queue, exposed for tests and in-process embedding. */
     JobQueue &queue() { return queue_; }
 
@@ -154,6 +158,16 @@ class Server
         std::shared_ptr<std::atomic<bool>> done;
     };
 
+    /** Lifetime per-worker activity, keyed by worker name. */
+    struct WorkerStats
+    {
+        std::uint64_t leases = 0;
+        std::uint64_t done = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t lastDoneMs = 0;
+        double ewmaJobsPerSec = 0.0; ///< EWMA over done intervals
+    };
+
     void acceptLoop();
     void reaperLoop();
     void localWorkerLoop(int index);
@@ -165,6 +179,10 @@ class Server
                        bool wait);
     void journalRequest(const std::string &line);
     void reapConnections(bool join_all);
+    void noteLease(const std::string &worker);
+    void noteDone(const std::string &worker);
+    void noteFail(const std::string &worker);
+    void publishQueueGauges() const;
 
     ServerOptions opts_;
     Endpoint endpoint_;
@@ -176,6 +194,9 @@ class Server
 
     mutable std::mutex campaignsMutex_;
     std::map<std::string, Campaign> campaigns_;
+
+    mutable std::mutex workersMutex_;
+    std::map<std::string, WorkerStats> workers_;
 
     std::atomic<bool> stop_{false};
     std::atomic<bool> draining_{false};

@@ -68,7 +68,7 @@ runWorker(const WorkerOptions &opts_in)
             connectFailures = 0;
         } catch (const std::exception &e) {
             if (++connectFailures > opts.connectRetries) {
-                warn(opts.name + ": giving up on " +
+                warn("worker", opts.name + ": giving up on " +
                      opts.endpoint.text() + ": " + e.what());
                 return 1;
             }
@@ -80,7 +80,7 @@ runWorker(const WorkerOptions &opts_in)
         if (tokens.size() == 2 && tokens[0] == "ok" &&
             tokens[1] == "drained") {
             if (opts.verbose)
-                inform(opts.name + ": server drained; exiting");
+                inform("worker", opts.name + ": server drained; exiting");
             return 0;
         }
         if (tokens.size() == 2 && tokens[0] == "ok" &&
@@ -90,7 +90,7 @@ runWorker(const WorkerOptions &opts_in)
         }
         if (tokens.size() != 5 || tokens[0] != "ok" ||
             tokens[1] != "job") {
-            warn(opts.name + ": unexpected lease reply: " + reply);
+            warn("worker", opts.name + ": unexpected lease reply: " + reply);
             interruptibleSleep(opts.pollMs, never);
             continue;
         }
@@ -103,12 +103,12 @@ runWorker(const WorkerOptions &opts_in)
             leaseMs = parseU64Text("lease ms", tokens[3]);
             specText = unescapeToken(tokens[4]);
         } catch (const std::exception &e) {
-            warn(opts.name + ": malformed lease reply: " + e.what());
+            warn("worker", opts.name + ": malformed lease reply: " + e.what());
             interruptibleSleep(opts.pollMs, never);
             continue;
         }
         if (opts.verbose)
-            inform(opts.name + ": leased job " + std::to_string(jobId));
+            inform("worker", opts.name + ": leased job " + std::to_string(jobId));
 
         // Heartbeat from a side thread while the simulation runs, at a
         // third of the lease so one dropped beat doesn't expire it.
@@ -167,13 +167,13 @@ runWorker(const WorkerOptions &opts_in)
         try {
             const std::string ack = request(serializeRequest(report));
             if (opts.verbose)
-                inform(opts.name + ": job " + std::to_string(jobId) +
+                inform("worker", opts.name + ": job " + std::to_string(jobId) +
                        " -> " + ack);
         } catch (const std::exception &e) {
             // The lease will expire and the job will be retried; the
             // queue's current-holder check keeps a late duplicate
             // settle from a reconnect harmless.
-            warn(opts.name + ": could not report job " +
+            warn("worker", opts.name + ": could not report job " +
                  std::to_string(jobId) + ": " + e.what());
         }
     }

@@ -74,6 +74,7 @@ EventQueue::siftDown(std::size_t i)
 void
 EventQueue::updateCore(CoreId core, Cycles at)
 {
+    ++ops_;
     const std::size_t pos =
         static_cast<std::size_t>(corePos_[static_cast<std::size_t>(core)]);
     const Cycles old = heap_[pos].at;
@@ -87,6 +88,7 @@ EventQueue::updateCore(CoreId core, Cycles at)
 void
 EventQueue::pushWake(Cycles at, ThreadId tid)
 {
+    ++ops_;
     heap_.push_back(Entry{at, static_cast<std::uint8_t>(Kind::kWake),
                           static_cast<std::int32_t>(tid)});
     siftUp(heap_.size() - 1);
@@ -102,6 +104,7 @@ EventQueue::peek() const
 void
 EventQueue::popWake()
 {
+    ++ops_;
     sstAssert(heap_.front().kind ==
                   static_cast<std::uint8_t>(Kind::kWake),
               "popWake: minimum event is not a wake");

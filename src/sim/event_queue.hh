@@ -71,6 +71,11 @@ class EventQueue
     /** Pending wake events. */
     std::size_t pendingWakes() const { return heap_.size() - ncores_; }
 
+    /** Mutating heap operations (updateCore/pushWake/popWake calls)
+     *  since construction. Deterministic for a deterministic run — part
+     *  of the perf gate's exact-compare counter set. */
+    std::uint64_t ops() const { return ops_; }
+
   private:
     struct Entry
     {
@@ -88,6 +93,7 @@ class EventQueue
     /** Heap position of each core's resident entry. */
     std::vector<std::int32_t> corePos_;
     std::size_t ncores_;
+    std::uint64_t ops_ = 0;
 };
 
 } // namespace sst

@@ -53,6 +53,16 @@ struct RunResult
      *  denominator of event-loop throughput (bench/perf_engine). */
     std::uint64_t engineEvents = 0;
 
+    /** Futex-style wake events dispatched (a subset of engineEvents).
+     *  Deterministic; exact-compared by the perf gate. */
+    std::uint64_t engineWakes = 0;
+
+    /** Time-slice preemptions taken by the scheduler. Deterministic. */
+    std::uint64_t enginePreemptions = 0;
+
+    /** Mutating event-heap operations (EventQueue::ops()). */
+    std::uint64_t engineHeapOps = 0;
+
     /** Sum of a per-thread counter over all threads. */
     template <typename F>
     std::uint64_t

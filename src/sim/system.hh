@@ -194,6 +194,8 @@ class System
     EventQueue events_;
     std::unique_ptr<Scheduler> sched_;
     std::uint64_t engineEvents_ = 0; ///< events dispatched by run()
+    std::uint64_t engineWakes_ = 0;  ///< wake events dispatched
+    std::uint64_t enginePreemptions_ = 0; ///< time-slice preemptions
     int finishedThreads_ = 0;
     Cycles roiStart_ = 0;  ///< cycle at which all measurements (re)start
     int roiPassed_ = 0;

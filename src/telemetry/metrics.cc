@@ -1,0 +1,294 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace sst {
+namespace telemetry {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds))
+{
+    for (std::size_t i = 1; i < bounds_.size(); ++i)
+        sstAssert(bounds_[i - 1] < bounds_[i],
+                  "Histogram: bucket bounds must be strictly ascending");
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double v)
+{
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i])
+        ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed))
+        ;
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t i) const
+{
+    return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    const std::uint64_t total = count();
+    if (total == 0)
+        return 0.0;
+    // Rank of the quantile observation (1-based, ceil).
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(q * total)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        seen += bucketCount(i);
+        if (seen >= rank)
+            return bounds_[i];
+    }
+    // In the +Inf bucket: the histogram cannot bound it better than the
+    // largest finite bound.
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+void
+Registry::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+std::string
+escapeLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+renderLabels(const Labels &labels)
+{
+    if (labels.empty())
+        return "";
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    std::string out = "{";
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (i)
+            out += ",";
+        out += sorted[i].first;
+        out += "=\"";
+        out += escapeLabelValue(sorted[i].second);
+        out += "\"";
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+formatMetricValue(double v)
+{
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::abs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+Registry::Entry &
+Registry::entryFor(const std::string &name, const Labels &labels,
+                   Kind kind, const std::vector<double> *bounds)
+{
+    const Key key{name, renderLabels(labels)};
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        Entry entry;
+        entry.kind = kind;
+        switch (kind) {
+        case Kind::kCounter:
+            entry.counter = std::make_unique<Counter>();
+            break;
+        case Kind::kGauge:
+            entry.gauge = std::make_unique<Gauge>();
+            break;
+        case Kind::kHistogram:
+            entry.histogram = std::make_unique<Histogram>(*bounds);
+            break;
+        }
+        it = entries_.emplace(key, std::move(entry)).first;
+    }
+    sstAssert(it->second.kind == kind,
+              "Registry: metric '" + name +
+                  "' re-registered with a different kind");
+    return it->second;
+}
+
+CounterHandle
+Registry::counter(const std::string &name, const Labels &labels)
+{
+    if (!enabled())
+        return CounterHandle();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return CounterHandle(
+        entryFor(name, labels, Kind::kCounter, nullptr).counter.get());
+}
+
+GaugeHandle
+Registry::gauge(const std::string &name, const Labels &labels)
+{
+    if (!enabled())
+        return GaugeHandle();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return GaugeHandle(
+        entryFor(name, labels, Kind::kGauge, nullptr).gauge.get());
+}
+
+HistogramHandle
+Registry::histogram(const std::string &name, const Labels &labels,
+                    std::vector<double> bounds)
+{
+    if (!enabled())
+        return HistogramHandle();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return HistogramHandle(
+        entryFor(name, labels, Kind::kHistogram, &bounds)
+            .histogram.get());
+}
+
+namespace {
+
+/** Insert the extra `le`/`quantile` label into a rendered label set. */
+std::string
+withExtraLabel(const std::string &rendered, const std::string &label,
+               const std::string &value)
+{
+    std::string extra = label + "=\"" + value + "\"";
+    if (rendered.empty())
+        return "{" + extra + "}";
+    // rendered == "{...}": splice before the closing brace.
+    return rendered.substr(0, rendered.size() - 1) + "," + extra + "}";
+}
+
+} // namespace
+
+std::string
+Registry::renderText() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    std::string lastFamily;
+    for (const auto &kv : entries_) {
+        const std::string &name = kv.first.first;
+        const std::string &labels = kv.first.second;
+        const Entry &entry = kv.second;
+        if (name != lastFamily) {
+            const char *type = entry.kind == Kind::kCounter ? "counter"
+                               : entry.kind == Kind::kGauge
+                                   ? "gauge"
+                                   : "histogram";
+            out += "# TYPE " + name + " " + type + "\n";
+            lastFamily = name;
+        }
+        switch (entry.kind) {
+        case Kind::kCounter:
+            out += name + labels + " " +
+                   std::to_string(entry.counter->value()) + "\n";
+            break;
+        case Kind::kGauge:
+            out += name + labels + " " +
+                   formatMetricValue(entry.gauge->value()) + "\n";
+            break;
+        case Kind::kHistogram: {
+            const Histogram &h = *entry.histogram;
+            std::uint64_t cum = 0;
+            for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+                cum += h.bucketCount(i);
+                out += name + "_bucket" +
+                       withExtraLabel(labels, "le",
+                                      formatMetricValue(h.bounds()[i])) +
+                       " " + std::to_string(cum) + "\n";
+            }
+            cum += h.bucketCount(h.bounds().size());
+            out += name + "_bucket" +
+                   withExtraLabel(labels, "le", "+Inf") + " " +
+                   std::to_string(cum) + "\n";
+            out += name + "_sum" + labels + " " +
+                   formatMetricValue(h.sum()) + "\n";
+            out += name + "_count" + labels + " " +
+                   std::to_string(h.count()) + "\n";
+            static const struct
+            {
+                const char *label;
+                double q;
+            } kQuantiles[] = {
+                {"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+            for (const auto &q : kQuantiles)
+                out += name +
+                       withExtraLabel(labels, "quantile", q.label) +
+                       " " + formatMetricValue(h.quantile(q.q)) + "\n";
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    enabled_.store(false, std::memory_order_relaxed);
+    entries_.clear();
+}
+
+} // namespace telemetry
+} // namespace sst

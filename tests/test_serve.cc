@@ -33,6 +33,7 @@
 #include "serve/worker.hh"
 #include "spec/registries.hh"
 #include "spec/spec.hh"
+#include "telemetry/metrics.hh"
 #include "tests/test_util.hh"
 #include "workload/profile.hh"
 #include "workload/workload_spec.hh"
@@ -894,6 +895,52 @@ TEST(ServeEndToEnd, KilledWorkerLeaseExpiresAndJobCompletes)
     requestLine(server.endpoint(), "drain");
     worker.join();
     EXPECT_EQ(rc, 0);
+    server.stop();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServeEndToEnd, MetricsVerbAndWorkerStatusLines)
+{
+    const std::string dir = makeTempDir("metrics");
+    serve::ServerOptions opts;
+    opts.endpoint.path = dir + "/sock";
+    opts.localWorkers = 1;
+    serve::Server server(opts);
+    // The registry is process-global and earlier tests ran servers too;
+    // reset so this test's counts are exact. start() re-enables it.
+    telemetry::Registry::global().reset();
+    server.start();
+
+    std::string response;
+    ASSERT_TRUE(server.submitCampaign(
+        "camp", 0, "profiles = cholesky\nthreads = 2\n", response));
+    waitForSettled(server, 1);
+
+    // The metrics verb streams the exposition: queue gauges, the
+    // per-worker counters and the serve done totals must all be there.
+    const Streamed metrics = streamRequest(server.endpoint(), "metrics");
+    EXPECT_EQ(metrics.first, "ok metrics");
+    EXPECT_EQ(metrics.end, "end");
+    EXPECT_NE(metrics.body.find("sst_serve_jobs_done_total 1\n"),
+              std::string::npos)
+        << metrics.body;
+    EXPECT_NE(metrics.body.find(
+                  "sst_serve_worker_done_total{worker=\"local-0\"} 1\n"),
+              std::string::npos)
+        << metrics.body;
+    EXPECT_NE(metrics.body.find("sst_serve_queue_jobs{state=\"done\"} 1\n"),
+              std::string::npos)
+        << metrics.body;
+    EXPECT_NE(metrics.body.find("# TYPE sst_sim_events_total counter"),
+              std::string::npos)
+        << metrics.body;
+
+    // status now carries one line per worker with lifetime counters.
+    const std::string status = server.statusText();
+    EXPECT_NE(status.find("worker local-0 leases="), std::string::npos)
+        << status;
+    EXPECT_NE(status.find("done=1"), std::string::npos) << status;
+
     server.stop();
     std::filesystem::remove_all(dir);
 }
