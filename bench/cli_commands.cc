@@ -1,5 +1,6 @@
 #include "cli_commands.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
@@ -35,6 +36,7 @@
 #include "util/format.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
+#include "wdl/wdl.hh"
 #include "workload/profile.hh"
 
 namespace sst {
@@ -96,9 +98,9 @@ printBatchTable(const std::vector<JobSpec> &jobs,
                        ? std::string(shortComponentName(ranked[k]))
                        : std::string("-");
         };
-        // The paper reports 16-thread speedups per benchmark; mixes and
-        // pipelines have no single paper row.
-        row.push_back(s.workload.isHomogeneous()
+        // The paper reports 16-thread speedups per benchmark; mixes,
+        // pipelines and user-authored WDL scenarios have no paper row.
+        row.push_back(s.workload.isHomogeneous() && !s.workload.wdlProgram
                           ? fmtDouble(s.workload.groups[0]
                                           .profile.paperSpeedup16,
                                       2)
@@ -194,6 +196,10 @@ sweepUsage()
         "                          mixes/pipelines (`sst list mixes`) or\n"
         "                          inline a:8+b:8 / s1:1>s2:2 descriptors\n"
         "                          (replaces --profiles/--threads)\n"
+        "  --workload-file FILE    compile a .wdl workload description\n"
+        "                          (repeatable; see `sst list "
+        "workloads`;\n"
+        "                          replaces --profiles/--threads)\n"
         "  --threads LIST          thread counts, e.g. 2,4,8,16 "
         "(default: 16)\n"
         "  --cores LIST            core counts (default: = threads;\n"
@@ -512,6 +518,56 @@ listMixes()
     return 0;
 }
 
+/** Directory `sst list workloads` scans for example .wdl files. */
+constexpr const char *kExampleWorkloadDir = "examples/workloads";
+
+int
+listWorkloads()
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> files;
+    std::error_code ec;
+    for (fs::directory_iterator it(kExampleWorkloadDir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->path().extension() == ".wdl")
+            files.push_back(it->path());
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+        std::printf("no .wdl files under %s/\n\n", kExampleWorkloadDir);
+    } else {
+        TextTable table;
+        table.setHeader({"file", "workload", "role", "threads",
+                         "groups"});
+        for (const fs::path &path : files) {
+            std::string workload = "-", role = "-", threads = "-",
+                        groups;
+            try {
+                const wdl::Program prog = wdl::loadProgram(path.string());
+                int total = 0;
+                for (const wdl::GroupIR &g : prog.groups) {
+                    total += g.nthreads;
+                    if (!groups.empty())
+                        groups += '+';
+                    groups += g.name + ":" + std::to_string(g.nthreads);
+                }
+                if (!prog.name.empty())
+                    workload = prog.name;
+                role = workloadRoleName(prog.role);
+                threads = std::to_string(total);
+            } catch (const std::exception &e) {
+                groups = std::string("parse error: ") + e.what();
+            }
+            table.addRow({path.filename().string(), workload, role,
+                          threads, groups});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    // The frontends table completes the picture: which engine runs the
+    // files (`workload-file =`) next to the other workload sources.
+    return listFrontends();
+}
+
 /** The list subcommands, table-driven like the registries themselves:
  *  usage text and the unknown-registry error enumerate this table. */
 struct ListCommand
@@ -526,6 +582,8 @@ constexpr ListCommand kListCommands[] = {
     {"scheds", "OS scheduler policies (--sched)", listScheds},
     {"frontends", "workload frontends (frontend =)", listFrontends},
     {"mixes", "named heterogeneous workloads (workload =)", listMixes},
+    {"workloads", "example .wdl files + frontends (workload-file =)",
+     listWorkloads},
 };
 
 std::string
@@ -1007,6 +1065,8 @@ sweepMain(int argc, char **argv, int first)
                     grid.profiles = parseLabelList(v);
             } else if (arg == "--mix") {
                 grid.workloads = parseLabelList(argValue(argc, argv, i));
+            } else if (arg == "--workload-file") {
+                grid.workloadFiles.push_back(argValue(argc, argv, i));
             } else if (arg == "--threads") {
                 grid.threads = parseIntList(argValue(argc, argv, i));
                 threads_given = true;
@@ -1061,11 +1121,13 @@ sweepMain(int argc, char **argv, int first)
         // --mix replaces the profile and thread axes; an explicit
         // --profiles next to it is a contradiction expandGrid rejects,
         // and an explicit --threads would be silently ignored — fatal.
-        if (!grid.workloads.empty() && threads_given) {
-            fatal("--threads does not apply to --mix (each workload "
-                  "carries its own thread counts)");
+        if ((!grid.workloads.empty() || !grid.workloadFiles.empty()) &&
+            threads_given) {
+            fatal("--threads does not apply to --mix/--workload-file "
+                  "(each workload carries its own thread counts)");
         }
-        if (!grid.workloads.empty() && !profiles_given)
+        if ((!grid.workloads.empty() || !grid.workloadFiles.empty()) &&
+            !profiles_given)
             grid.profiles.clear();
 
         return executeBatch(grid, opts, quiet, csvPath, jsonPath,
@@ -1251,10 +1313,12 @@ versionMain()
                 "  fingerprint     %d (homogeneous schema %d)\n"
                 "  trace           %u (oldest readable %u)\n"
                 "  result cache    %d\n"
-                "  serve protocol  %d\n",
+                "  serve protocol  %d\n"
+                "  wdl language    %d\n",
                 kFingerprintVersion, kHomogeneousSchemaVersion,
                 trace::kTraceVersion, trace::kMinTraceVersion,
-                kResultCacheVersion, serve::kProtocolVersion);
+                kResultCacheVersion, serve::kProtocolVersion,
+                wdl::kWdlVersion);
     return 0;
 }
 

@@ -1,0 +1,22 @@
+# Cross-group lock contention — a scenario no registered profile can
+# express: two 8-thread groups share one 64-entry lock table, one
+# keying zipf(0.9) (skewed, hot locks) and one zipf(0.0) (uniform).
+# The skewed group's hot keys collide with the uniform group's
+# accesses, so the uniform group inherits spin time it would never
+# produce alone.
+wdl 1
+workload "contention"
+seed 11
+lock keys[64]
+
+group hot threads=8 private=128K {
+  loop 8000 {
+    txn txn_ops=16 rw_ratio=0.5 locks=keys zipf(0.9) compute=uniform(10, 30) memory=2
+  }
+}
+
+group uniform threads=8 private=128K {
+  loop 8000 {
+    txn txn_ops=16 rw_ratio=0.5 locks=keys zipf(0.0) compute=uniform(10, 30) memory=2
+  }
+}

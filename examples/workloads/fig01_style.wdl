@@ -1,0 +1,23 @@
+# A fig01-style speedup stack scenario: one 16-thread replicated group
+# doing barrier-phased compute with a modest shared working set. The
+# phase barriers produce the imbalance component, the shared references
+# the coherency/LLC components — the canonical shape of the paper's
+# introductory stacks.
+wdl 1
+workload "fig01_style"
+seed 42
+
+group main threads=16 private=256K shared=1M {
+  # 8 barrier-aligned phases; `each` keeps one phase structure per
+  # thread (the trip count is per thread, not divided over the group).
+  loop 8 each {
+    phase {
+      # ~6400 loop iterations divided over the 16 threads.
+      loop 6400 {
+        compute uniform(80, 120)
+        memory 2
+        memory 1 shared store=0.1
+      }
+    }
+  }
+}

@@ -1,0 +1,14 @@
+# High-contention transactional workload (DBx1000 style): 16 clients
+# hammer a 64-entry lock table with zipf(0.9)-skewed keys and a 50/50
+# read/write mix — most transactions collide on the hottest few locks,
+# so the spin component dominates the speedup stack.
+wdl 1
+workload "txn_high"
+seed 7
+lock keys[64]
+
+group clients threads=16 private=128K {
+  loop 16000 {
+    txn txn_ops=16 rw_ratio=0.5 locks=keys zipf(0.9) compute=uniform(10, 30) memory=2
+  }
+}

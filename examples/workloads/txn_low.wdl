@@ -1,0 +1,15 @@
+# Low-contention counterpart of txn_high.wdl: uniform keys
+# (zipf theta 0) over the same 64-entry lock table and a read-only
+# mix, so transactions rarely collide and the stack stays almost
+# synchronization-free. Diff the two stacks to isolate the cost of
+# key skew.
+wdl 1
+workload "txn_low"
+seed 7
+lock keys[64]
+
+group clients threads=16 private=128K {
+  loop 16000 {
+    txn txn_ops=16 rw_ratio=1.0 locks=keys zipf(0.0) compute=uniform(10, 30) memory=2
+  }
+}

@@ -194,16 +194,11 @@ runOneJob(const DriverOptions &opts, const JobSpec &spec,
             if (records.claim(record_path)) {
                 writer = std::make_unique<TraceWriter>(
                     traceMetaFor(workload, spec.params));
-                // Baseline streams are a pure function of the profiles
+                // Baseline streams are a pure function of the workload
                 // — fill them by generation so the 1-thread runs can
                 // still come from the shared BaselineStore.
-                for (int g = 0; g < workload.ngroups(); ++g) {
-                    appendGeneratedBaseline(
-                        *writer,
-                        workload.groups[static_cast<std::size_t>(g)]
-                            .profile,
-                        g);
-                }
+                for (int g = 0; g < workload.ngroups(); ++g)
+                    appendGeneratedBaseline(*writer, workload, g);
             }
         }
 
@@ -218,18 +213,23 @@ runOneJob(const DriverOptions &opts, const JobSpec &spec,
         {
             telemetry::ScopedSpan baselineSpan("baseline", "driver");
             for (std::size_t g = 0; g < workload.groups.size(); ++g) {
-                const BenchmarkProfile &profile =
-                    workload.groups[g].profile;
                 const int group = static_cast<int>(g);
                 auto compute = [&]() -> RunResult {
                     if (reader)
                         return replayBaseline(spec.params, *reader,
                                               group);
-                    return runSingleThreaded(spec.params, profile);
+                    if (workload.wdlProgram)
+                        return simulateSources(
+                            spec.params,
+                            workloadGroupBaselineSources(workload, group),
+                            1);
+                    return runSingleThreaded(
+                        spec.params, workload.groups[g].profile);
                 };
                 if (opts.shareBaselines) {
                     group_bases.push_back(baselines.get(
-                        fingerprintProfileBaseline(spec.params, profile)
+                        fingerprintWorkloadGroupBaseline(spec.params,
+                                                         workload, group)
                             .canonical,
                         compute));
                 } else {

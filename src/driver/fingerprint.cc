@@ -5,6 +5,7 @@
 
 #include "spec/machine_keys.hh"
 #include "util/logging.hh"
+#include "wdl/wdl.hh"
 
 namespace sst {
 namespace {
@@ -150,6 +151,34 @@ fingerprintJob(const JobSpec &spec)
 {
     const WorkloadSpec workload = spec.effectiveWorkload();
     std::string out;
+    if (workload.wdlProgram) {
+        // WDL jobs are identified by the *compiled IR* (canonical
+        // text), never by the source path: identical file content at
+        // different paths — or re-submitted through `sst serve` — keys
+        // one cache entry. The effective per-group seeds (seed-offset
+        // and group mixing already applied) are encoded separately
+        // because they scope the thread RNG streams outside the IR.
+        put(out, "fingerprint.version", kFingerprintVersion);
+        put(out, "job.kind", std::string("experiment"));
+        put(out, "job.nthreads", spec.nthreads());
+        put(out, "job.seedOffset", spec.seedOffset);
+        put(out, "workload.role",
+            std::string(workloadRoleName(workload.role)));
+        put(out, "workload.wdl.version", wdl::kWdlVersion);
+        put(out, "workload.groups",
+            static_cast<std::uint64_t>(workload.groups.size()));
+        for (std::size_t g = 0; g < workload.groups.size(); ++g) {
+            put(out, "workload.group", static_cast<std::uint64_t>(g));
+            put(out, "group.nthreads", workload.groups[g].nthreads);
+            put(out, "group.seed", workload.groups[g].profile.seed);
+        }
+        const std::string ir = workload.wdlProgram->canonicalText();
+        put(out, "workload.wdl.ir.bytes",
+            static_cast<std::uint64_t>(ir.size()));
+        out += ir;
+        encodeParams(out, spec.params, spec.ncoresEffective());
+        return finish(std::move(out));
+    }
     if (workload.isHomogeneous()) {
         // The v3 schema, verbatim: homogeneous jobs simulate
         // bit-identically to the pre-WorkloadSpec stack, so their cache
@@ -195,6 +224,32 @@ fingerprintProfileBaseline(const SimParams &params,
     // One thread on one core never consults the scheduler policy (no
     // contention, no wakes, no preemption), so canonicalize it away:
     // cross-policy sweeps then share one baseline per profile.
+    SimParams base = params;
+    base.schedPolicy = SchedPolicy::kAffinityFifo;
+    base.schedSeed = 0;
+    encodeParams(out, base, 1);
+    return finish(std::move(out));
+}
+
+Fingerprint
+fingerprintWorkloadGroupBaseline(const SimParams &params,
+                                 const WorkloadSpec &workload, int group)
+{
+    const BenchmarkProfile &profile =
+        workload.groups[static_cast<std::size_t>(group)].profile;
+    if (!workload.wdlProgram)
+        return fingerprintProfileBaseline(params, profile);
+    std::string out;
+    put(out, "fingerprint.version", kFingerprintVersion);
+    put(out, "job.kind", std::string("baseline"));
+    put(out, "workload.wdl.version", wdl::kWdlVersion);
+    put(out, "group.index", group);
+    put(out, "group.seed", profile.seed);
+    const std::string ir = workload.wdlProgram->canonicalText();
+    put(out, "workload.wdl.ir.bytes", static_cast<std::uint64_t>(ir.size()));
+    out += ir;
+    // Same canonicalization as profile baselines: one thread on one
+    // core never consults the scheduler policy.
     SimParams base = params;
     base.schedPolicy = SchedPolicy::kAffinityFifo;
     base.schedSeed = 0;

@@ -96,6 +96,18 @@ Fingerprint fingerprintBaseline(const JobSpec &spec);
 Fingerprint fingerprintProfileBaseline(const SimParams &params,
                                        const BenchmarkProfile &profile);
 
+/**
+ * Baseline fingerprint of group @p group of @p workload. Dispatches to
+ * fingerprintProfileBaseline() for profile-backed groups (unchanged
+ * keys) and to an IR-content encoding for WDL-backed ones: the section
+ * hashes the compiled program's canonical text plus the group index and
+ * effective seed, never the source path, so identical file content at
+ * different paths shares one baseline.
+ */
+Fingerprint fingerprintWorkloadGroupBaseline(const SimParams &params,
+                                             const WorkloadSpec &workload,
+                                             int group);
+
 } // namespace sst
 
 #endif // SST_DRIVER_FINGERPRINT_HH

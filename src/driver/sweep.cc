@@ -10,6 +10,7 @@
 
 #include "spec/registries.hh"
 #include "util/logging.hh"
+#include "wdl/wdl.hh"
 #include "workload/profile.hh"
 
 namespace sst {
@@ -177,7 +178,17 @@ expandGrid(const SweepGrid &grid)
     // Resolve either axis into one list of workloads; the job
     // construction over cores x LLC is shared below.
     std::vector<WorkloadSpec> workloads;
-    if (!grid.workloads.empty()) {
+    if (!grid.workloadFiles.empty()) {
+        if (!grid.profiles.empty() || !grid.workloads.empty()) {
+            throw std::invalid_argument(
+                "sweep grid has workload files and profiles/workloads; "
+                "the axes are exclusive (a .wdl file declares its own "
+                "groups)");
+        }
+        workloads.reserve(grid.workloadFiles.size());
+        for (const std::string &path : grid.workloadFiles)
+            workloads.push_back(wdl::loadWorkloadFile(path)); // throws
+    } else if (!grid.workloads.empty()) {
         if (!grid.profiles.empty()) {
             throw std::invalid_argument(
                 "sweep grid has both workloads and profiles; the axes "

@@ -37,6 +37,14 @@ struct SweepGrid
      */
     std::vector<std::string> workloads;
 
+    /**
+     * Workload-description-file axis: paths to `.wdl` scenario sources,
+     * each compiled (wdl::loadWorkloadFile) into one workload. Mutually
+     * exclusive with `profiles` and `workloads`; like `workloads`, the
+     * `threads` axis does not apply.
+     */
+    std::vector<std::string> workloadFiles;
+
     std::vector<int> threads = {16};
 
     /**

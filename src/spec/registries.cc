@@ -124,6 +124,12 @@ opSourceRegistry()
                   "profiles co-scheduled with shared phase barriers "
                   "(select stages via `workload = <pipeline>`)",
                   false});
+        r.add("workload-file",
+              OpSourceFrontend{
+                  "compile .wdl workload description files into op "
+                  "streams (select files via `workload-file = "
+                  "PATH[, PATH]`)",
+                  false});
         return r;
     }();
     return registry;

@@ -15,9 +15,10 @@ constexpr const char *kMachinePrefix = "machine.";
 
 /** Top-level spec keys, in canonical serialization order. */
 constexpr const char *kTopKeys[] = {
-    "profiles", "workload",  "pipeline",  "threads",      "cores",
-    "llc",      "seed-offset", "frontend", "trace-dir",   "sched",
-    "sched-seed", "output.csv", "output.json", "output.quiet",
+    "profiles", "workload",  "workload-file", "pipeline", "threads",
+    "cores",    "llc",       "seed-offset",   "frontend", "trace-dir",
+    "sched",    "sched-seed", "output.csv",   "output.json",
+    "output.quiet",
 };
 
 std::string
@@ -55,6 +56,32 @@ joinSizes(const std::vector<std::uint64_t> &v)
     return out;
 }
 
+/**
+ * Split a comma-separated path list. Unlike parseLabelList this only
+ * trims the ends of each element — paths may legitimately contain
+ * interior spaces — and rejects empty elements.
+ */
+std::vector<std::string>
+splitPaths(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        const std::string item = trim(text.substr(start, end - start));
+        if (item.empty())
+            throw std::invalid_argument(
+                "empty path in list '" + text + "'");
+        out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
 std::string
 joinLabels(const std::vector<std::string> &v)
 {
@@ -79,10 +106,33 @@ applySpecValue(ExperimentSpec &spec, const std::string &key,
         else
             spec.profiles = parseLabelList(value);
     } else if (key == "workload") {
+        if (!spec.workloadFiles.empty() && !value.empty()) {
+            throw std::invalid_argument(
+                "`workload =` cannot be combined with "
+                "`workload-file =`; a .wdl file declares its own "
+                "groups");
+        }
         spec.workloads.clear();
         if (!value.empty()) {
             for (const std::string &item : parseLabelList(value))
                 spec.workloads.push_back(canonicalWorkloadText(item));
+        }
+    } else if (key == "workload-file" || key == "workload_file") {
+        // Sugar like `pipeline =`: selecting .wdl scenario files also
+        // selects the workload-file frontend, so one line runs a
+        // user-authored workload. Serialization emits the expanded
+        // workload-file/frontend keys (canonical form is a fixed
+        // point). Combining with the other workload axes would
+        // silently drop one of them — reject instead.
+        if (!spec.workloads.empty() && !value.empty()) {
+            throw std::invalid_argument(
+                "`workload-file =` cannot be combined with "
+                "`workload =`; a .wdl file declares its own groups");
+        }
+        spec.workloadFiles.clear();
+        if (!value.empty()) {
+            spec.workloadFiles = splitPaths(value);
+            spec.frontend = "workload-file";
         }
     } else if (key == "pipeline") {
         // Sugar: select a registered pipeline and its frontend in one
@@ -95,6 +145,11 @@ applySpecValue(ExperimentSpec &spec, const std::string &key,
                 "`pipeline =` cannot be combined with `workload =`; "
                 "list pipelines in `workload =` with `frontend = "
                 "pipeline` instead");
+        }
+        if (!spec.workloadFiles.empty()) {
+            throw std::invalid_argument(
+                "`pipeline =` cannot be combined with "
+                "`workload-file =`");
         }
         const std::string canon = canonicalWorkloadText(value);
         if (parseWorkload(canon).role != WorkloadRole::kPipeline) {
@@ -181,21 +236,25 @@ parseSpec(const std::string &text)
         line = trim(line);
         if (line.empty())
             continue;
+        // Diagnostics carry the line number AND the offending line
+        // (matching the WDL compiler's file:line + near-token style),
+        // so a bad key in a 50-line spec is found without counting.
+        const auto fail = [&](const std::string &msg) {
+            throw std::invalid_argument("line " + std::to_string(lineno) +
+                                        ": " + msg + " (near '" + line +
+                                        "')");
+        };
         const std::size_t eq = line.find('=');
         if (eq == std::string::npos)
-            throw std::invalid_argument(
-                "line " + std::to_string(lineno) +
-                ": expected 'key = value', got '" + line + "'");
+            fail("expected 'key = value'");
         const std::string key = trim(line.substr(0, eq));
         const std::string value = trim(line.substr(eq + 1));
         if (key.empty())
-            throw std::invalid_argument("line " + std::to_string(lineno) +
-                                        ": empty key");
+            fail("empty key");
         try {
             applySpecValue(spec, key, value);
         } catch (const std::invalid_argument &e) {
-            throw std::invalid_argument(
-                "line " + std::to_string(lineno) + ": " + e.what());
+            fail(e.what());
         }
     }
     return spec;
@@ -246,6 +305,7 @@ serializeSpec(const ExperimentSpec &spec)
     put("profiles",
         spec.profiles.empty() ? "all" : joinLabels(spec.profiles));
     put("workload", joinLabels(spec.workloads));
+    put("workload-file", joinLabels(spec.workloadFiles));
     put("threads", joinInts(spec.threads));
     put("cores", joinInts(spec.cores));
     put("llc", joinSizes(spec.llcBytes));
@@ -296,7 +356,21 @@ validateSpec(const ExperimentSpec &spec)
             "workload and profiles are exclusive axes (a workload "
             "names its own profiles)");
     }
-    if (!spec.workloads.empty() &&
+    if (!spec.workloadFiles.empty() &&
+        (!spec.profiles.empty() || !spec.workloads.empty())) {
+        throw std::invalid_argument(
+            "workload-file is exclusive with the profiles and workload "
+            "axes (a .wdl file declares its own groups)");
+    }
+    if (!spec.workloadFiles.empty() && spec.frontend != "workload-file")
+        throw std::invalid_argument(
+            "workload-file paths are set but frontend '" + spec.frontend +
+            "' does not compile them (use `frontend = workload-file`)");
+    if (spec.frontend == "workload-file" && spec.workloadFiles.empty())
+        throw std::invalid_argument(
+            "frontend 'workload-file' needs `workload-file = "
+            "<path.wdl>[, <path.wdl>...]`");
+    if ((!spec.workloads.empty() || !spec.workloadFiles.empty()) &&
         !(spec.threads.size() == 1 && spec.threads[0] == 16)) {
         // The default threads value {16} is indistinguishable from an
         // explicit `threads = 16`, which is harmless either way; any
@@ -327,7 +401,8 @@ validateSpec(const ExperimentSpec &spec)
         throw std::invalid_argument(
             "frontend 'pipeline' needs `workload = <pipeline>` "
             "(e.g. one of: " + mixRegistry().namesJoined() + ")");
-    if (spec.workloads.empty() && spec.threads.empty())
+    if (spec.workloads.empty() && spec.workloadFiles.empty() &&
+        spec.threads.empty())
         throw std::invalid_argument("spec selects no thread counts");
     if (spec.machine.schedSeed != 0 &&
         spec.machine.schedPolicy != SchedPolicy::kRandom) {
@@ -347,7 +422,11 @@ specGrid(const ExperimentSpec &spec)
 {
     validateSpec(spec);
     SweepGrid grid;
-    if (!spec.workloads.empty()) {
+    if (!spec.workloadFiles.empty()) {
+        // Each .wdl file carries its own groups and thread counts.
+        grid.workloadFiles = spec.workloadFiles;
+        grid.threads.clear();
+    } else if (!spec.workloads.empty()) {
         // The workload axis carries its own profiles/thread counts.
         grid.workloads = spec.workloads;
         grid.threads.clear();
@@ -368,7 +447,18 @@ specForJob(const JobSpec &job)
 {
     ExperimentSpec spec;
     const WorkloadSpec &w = job.workload;
-    if (w.isHomogeneous() && w.name.empty()) {
+    if (w.wdlProgram) {
+        // WDL workloads serialize by source path: the leased worker
+        // re-compiles the file, and the fingerprint (which hashes the
+        // compiled IR, not the path) proves it reconstructed the
+        // identical workload. A programmatically built WorkloadSpec
+        // with no source path cannot be leased as a spec.
+        if (w.wdlPath.empty())
+            throw std::invalid_argument(
+                "cannot serialize a WDL workload with no source path");
+        spec.workloadFiles = {w.wdlPath};
+        spec.frontend = "workload-file";
+    } else if (w.isHomogeneous() && w.name.empty()) {
         spec.profiles = {w.groups[0].profile.label()};
         spec.threads = {w.groups[0].nthreads};
     } else {

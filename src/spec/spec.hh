@@ -53,6 +53,17 @@ struct ExperimentSpec
      */
     std::vector<std::string> workloads;
 
+    /**
+     * Workload-description files (`workload-file = contention.wdl`):
+     * paths to `.wdl` scenario sources compiled by the WDL frontend.
+     * Mutually exclusive with `profiles` and `workloads`; each file
+     * declares its own groups and thread counts, so the `threads` axis
+     * does not apply. Setting the key is sugar for
+     * `frontend = workload-file`. Fingerprints hash the compiled IR,
+     * never these paths.
+     */
+    std::vector<std::string> workloadFiles;
+
     /** Thread counts (sweep axis). */
     std::vector<int> threads = {16};
 

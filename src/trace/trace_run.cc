@@ -1,13 +1,36 @@
 #include "trace_run.hh"
 
+#include <cstdio>
 #include <fstream>
 
 #include "cache/hierarchy.hh"
 #include "driver/fingerprint.hh"
 #include "sim/system.hh"
+#include "wdl/wdl.hh"
 #include "workload/thread_program.hh"
 
 namespace sst {
+
+namespace {
+
+/**
+ * Content hash of one WDL group's op streams: the compiled IR plus the
+ * group index and effective seed (the inputs the compiler draws from).
+ * Replay compatibility checks compare these, so editing the file or
+ * reseeding a group invalidates its recordings like a profile edit
+ * would.
+ */
+std::uint64_t
+wdlGroupHash(const WorkloadSpec &workload, std::size_t group)
+{
+    std::string canonical = workload.wdlProgram->canonicalText();
+    canonical += "group=" + std::to_string(group) + '\n';
+    canonical +=
+        "seed=" + std::to_string(workload.groups[group].profile.seed) + '\n';
+    return fnv1a64(canonical);
+}
+
+} // namespace
 
 std::uint64_t
 traceProfileHash(const BenchmarkProfile &profile)
@@ -20,6 +43,22 @@ traceProfileHash(const BenchmarkProfile &profile)
 std::uint64_t
 traceWorkloadHash(const WorkloadSpec &workload)
 {
+    if (workload.wdlProgram) {
+        std::string canonical;
+        canonical += "workload.role=";
+        canonical += workloadRoleName(workload.role);
+        canonical += '\n';
+        for (std::size_t g = 0; g < workload.groups.size(); ++g) {
+            canonical += "workload.group=" + std::to_string(g) + '\n';
+            canonical += "group.nthreads=" +
+                         std::to_string(workload.groups[g].nthreads) + '\n';
+            canonical += "group.seed=" +
+                         std::to_string(workload.groups[g].profile.seed) +
+                         '\n';
+        }
+        canonical += workload.wdlProgram->canonicalText();
+        return fnv1a64(canonical);
+    }
     if (workload.isHomogeneous())
         return traceProfileHash(workload.groups[0].profile);
     std::string canonical;
@@ -40,9 +79,16 @@ traceGroupsOf(const WorkloadSpec &workload)
 {
     std::vector<trace::TraceGroup> groups;
     groups.reserve(workload.groups.size());
-    for (const WorkloadGroup &g : workload.groups) {
+    for (std::size_t g = 0; g < workload.groups.size(); ++g) {
+        const WorkloadGroup &wg = workload.groups[g];
+        // WDL group labels come from the file (the group names); their
+        // hashes cover the compiled IR instead of the placeholder
+        // profile knobs.
         groups.push_back(trace::TraceGroup{
-            g.nthreads, traceProfileHash(g.profile), g.profile.label()});
+            wg.nthreads,
+            workload.wdlProgram ? wdlGroupHash(workload, g)
+                                : traceProfileHash(wg.profile),
+            wg.profile.label()});
     }
     return groups;
 }
@@ -96,7 +142,7 @@ tracePathFor(const std::string &dir, const WorkloadSpec &workload,
              std::uint64_t seed_offset, SchedPolicy policy,
              std::uint64_t sched_seed)
 {
-    if (workload.isHomogeneous()) {
+    if (!workload.wdlProgram && workload.isHomogeneous()) {
         return tracePathFor(dir, workload.groups[0].profile,
                             workload.nthreads(), seed_offset, policy,
                             sched_seed);
@@ -105,6 +151,15 @@ tracePathFor(const std::string &dir, const WorkloadSpec &workload,
     if (!path.empty() && path.back() != '/')
         path += '/';
     std::string label = workload.label();
+    if (workload.wdlProgram) {
+        // Two different .wdl files may share a workload name; suffix a
+        // short content hash so their recordings never collide.
+        char hash[12];
+        std::snprintf(hash, sizeof(hash), "_%08x",
+                      static_cast<unsigned>(workload.wdlProgram->irHash() &
+                                            0xffffffffu));
+        label += hash;
+    }
     for (char &c : label)
         if (c == '/')
             c = '_';
@@ -138,6 +193,28 @@ appendGeneratedBaseline(TraceWriter &writer,
     const int stream = writer.baselineStream(group);
     for (;;) {
         const Op op = program.nextOp();
+        writer.append(stream, op);
+        if (op.type == OpType::kEnd)
+            return;
+    }
+}
+
+void
+appendGeneratedBaseline(TraceWriter &writer, const WorkloadSpec &workload,
+                        int group)
+{
+    if (!workload.wdlProgram) {
+        appendGeneratedBaseline(
+            writer,
+            workload.groups[static_cast<std::size_t>(group)].profile, group);
+        return;
+    }
+    // Same enumeration, driven by the sequential WDL interpreter.
+    const std::unique_ptr<OpSource> source =
+        workloadGroupBaselineSources(workload, group)(0, 1);
+    const int stream = writer.baselineStream(group);
+    for (;;) {
+        const Op op = source->nextOp();
         writer.append(stream, op);
         if (op.type == OpType::kEnd)
             return;
@@ -186,14 +263,14 @@ recordSpeedupTrace(const SimParams &params, const WorkloadSpec &workload,
     std::vector<RunResult> bases;
     bases.reserve(workload.groups.size());
     for (std::size_t g = 0; g < workload.groups.size(); ++g) {
-        const BenchmarkProfile &profile = workload.groups[g].profile;
+        const OpSourceFactory base =
+            workloadGroupBaselineSources(workload, static_cast<int>(g));
         const int stream = writer.baselineStream(static_cast<int>(g));
         bases.push_back(simulateSources(
             params,
             [&](ThreadId tid, int n) -> std::unique_ptr<OpSource> {
-                return std::make_unique<RecordingSource>(
-                    std::make_unique<ThreadProgram>(profile, tid, n),
-                    writer, stream);
+                return std::make_unique<RecordingSource>(base(tid, n),
+                                                         writer, stream);
             },
             1));
     }

@@ -82,6 +82,14 @@ void appendGeneratedBaseline(TraceWriter &writer,
                              const BenchmarkProfile &profile, int group);
 
 /**
+ * Workload-aware form: profile-backed groups enumerate exactly as the
+ * profile overload; WDL-backed groups enumerate the sequential program
+ * compiled from the workload's IR.
+ */
+void appendGeneratedBaseline(TraceWriter &writer,
+                             const WorkloadSpec &workload, int group);
+
+/**
  * Run the full speedup experiment (1-thread baseline + @p nthreads-run)
  * while recording both op streams, and write the trace container to
  * @p path. Returns the live experiment — identical to what

@@ -1,0 +1,188 @@
+#include "wdl/lexer.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace sst {
+namespace wdl {
+
+std::string
+diag(const std::string &filename, int line, const std::string &msg,
+     const std::string &near)
+{
+    std::string out = filename;
+    out += ':';
+    out += std::to_string(line);
+    out += ": ";
+    out += msg;
+    if (!near.empty()) {
+        out += " (near '";
+        out += near;
+        out += "')";
+    }
+    return out;
+}
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &filename, int line, const std::string &msg,
+     const std::string &near)
+{
+    throw std::invalid_argument(diag(filename, line, msg, near));
+}
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &text, const std::string &filename)
+{
+    std::vector<Token> toks;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+
+    auto simple = [&](TokKind kind, char c) {
+        Token t;
+        t.kind = kind;
+        t.line = line;
+        t.text.assign(1, c);
+        toks.push_back(std::move(t));
+    };
+
+    while (i < n) {
+        const char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+            ++i;
+            continue;
+        }
+        if (c == '#') {
+            while (i < n && text[i] != '\n')
+                ++i;
+            continue;
+        }
+        switch (c) {
+        case '{': simple(TokKind::kLBrace, c); ++i; continue;
+        case '}': simple(TokKind::kRBrace, c); ++i; continue;
+        case '[': simple(TokKind::kLBracket, c); ++i; continue;
+        case ']': simple(TokKind::kRBracket, c); ++i; continue;
+        case '(': simple(TokKind::kLParen, c); ++i; continue;
+        case ')': simple(TokKind::kRParen, c); ++i; continue;
+        case '=': simple(TokKind::kEquals, c); ++i; continue;
+        case ',': simple(TokKind::kComma, c); ++i; continue;
+        default: break;
+        }
+        if (c == '"') {
+            const std::size_t start = ++i;
+            while (i < n && text[i] != '"' && text[i] != '\n')
+                ++i;
+            if (i >= n || text[i] != '"')
+                fail(filename, line, "unterminated string literal",
+                     text.substr(start - 1, std::min<std::size_t>(
+                                                i - start + 1, 24)));
+            Token t;
+            t.kind = TokKind::kString;
+            t.line = line;
+            t.text = text.substr(start, i - start);
+            toks.push_back(std::move(t));
+            ++i;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            const std::size_t start = i;
+            while (i < n && std::isdigit(static_cast<unsigned char>(text[i])))
+                ++i;
+            bool isFloat = false;
+            if (i < n && text[i] == '.') {
+                isFloat = true;
+                ++i;
+                if (i >= n || !std::isdigit(static_cast<unsigned char>(text[i])))
+                    fail(filename, line, "malformed number",
+                         text.substr(start, i - start));
+                while (i < n &&
+                       std::isdigit(static_cast<unsigned char>(text[i])))
+                    ++i;
+            }
+            std::uint64_t scale = 1;
+            if (!isFloat && i < n) {
+                const char s = text[i];
+                if (s == 'K' || s == 'k')
+                    scale = 1024;
+                else if (s == 'M' || s == 'm')
+                    scale = 1024 * 1024;
+                else if (s == 'G' || s == 'g')
+                    scale = 1024ull * 1024 * 1024;
+                if (scale != 1)
+                    ++i;
+            }
+            if (i < n && identChar(text[i]))
+                fail(filename, line, "malformed number",
+                     text.substr(start, i - start + 1));
+            Token t;
+            t.line = line;
+            t.text = text.substr(start, i - start);
+            if (isFloat) {
+                t.kind = TokKind::kFloat;
+                t.floatValue = std::stod(t.text);
+            } else {
+                t.kind = TokKind::kInt;
+                std::uint64_t v = 0;
+                for (std::size_t j = start;
+                     j < i && std::isdigit(static_cast<unsigned char>(text[j]));
+                     ++j) {
+                    const std::uint64_t d =
+                        static_cast<std::uint64_t>(text[j] - '0');
+                    if (v > (UINT64_MAX - d) / 10)
+                        fail(filename, line, "integer literal overflows",
+                             t.text);
+                    v = v * 10 + d;
+                }
+                if (scale != 1 && v > UINT64_MAX / scale)
+                    fail(filename, line, "integer literal overflows", t.text);
+                t.intValue = v * scale;
+            }
+            toks.push_back(std::move(t));
+            continue;
+        }
+        if (identStart(c)) {
+            const std::size_t start = i;
+            while (i < n && identChar(text[i]))
+                ++i;
+            Token t;
+            t.kind = TokKind::kIdent;
+            t.line = line;
+            t.text = text.substr(start, i - start);
+            toks.push_back(std::move(t));
+            continue;
+        }
+        fail(filename, line, "unexpected character", std::string(1, c));
+    }
+
+    Token eof;
+    eof.kind = TokKind::kEof;
+    eof.line = line;
+    eof.text = "end of file";
+    toks.push_back(std::move(eof));
+    return toks;
+}
+
+} // namespace wdl
+} // namespace sst

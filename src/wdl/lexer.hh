@@ -1,0 +1,55 @@
+/**
+ * @file
+ * WDL tokenizer. The whole file is tokenized up front; the parser walks
+ * the token vector with one token of lookahead. Numbers accept K/M/G
+ * size suffixes ("256K" -> 262144); floats carry a '.'; `#` comments run
+ * to end of line. Lexical errors throw std::invalid_argument with the
+ * shared "file:line: message (near 'token')" diagnostic shape.
+ */
+
+#ifndef SST_WDL_LEXER_HH
+#define SST_WDL_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sst {
+namespace wdl {
+
+enum class TokKind : std::uint8_t {
+    kIdent,
+    kString,   ///< double-quoted, no escapes
+    kInt,      ///< with optional K/M/G suffix, already applied
+    kFloat,
+    kLBrace,
+    kRBrace,
+    kLBracket,
+    kRBracket,
+    kLParen,
+    kRParen,
+    kEquals,
+    kComma,
+    kEof,
+};
+
+struct Token
+{
+    TokKind kind = TokKind::kEof;
+    int line = 0;             ///< 1-based
+    std::string text;         ///< raw spelling ("end of file" for kEof)
+    std::uint64_t intValue = 0;
+    double floatValue = 0.0;
+};
+
+/** Format the shared single-line diagnostic: "file:line: msg (near 'x')". */
+std::string diag(const std::string &filename, int line, const std::string &msg,
+                 const std::string &near);
+
+/** Tokenize @p text; the result always ends with a kEof token. */
+std::vector<Token> lex(const std::string &text, const std::string &filename);
+
+} // namespace wdl
+} // namespace sst
+
+#endif // SST_WDL_LEXER_HH

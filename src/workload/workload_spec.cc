@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/logging.hh"
+#include "wdl/wdl.hh"
 #include "workload/op.hh"
 #include "workload/thread_program.hh"
 
@@ -106,6 +107,10 @@ WorkloadSpec::descriptor() const
 std::string
 WorkloadSpec::label() const
 {
+    // WDL workloads are labelled by the program (or file) name even
+    // when they have a single group.
+    if (wdlProgram && !name.empty())
+        return name;
     if (isHomogeneous())
         return groups[0].profile.label();
     if (!name.empty())
@@ -206,6 +211,11 @@ WorkloadSpec::topology(int ncores) const
 OpSourceFactory
 workloadOpSources(const WorkloadSpec &spec)
 {
+    // WDL-backed workloads compile their op streams from the IR; the
+    // placeholder profiles never reach a ThreadProgram.
+    if (spec.wdlProgram)
+        return wdl::workloadSources(spec);
+
     // The factory owns the spec: group profiles must outlive every
     // ThreadProgram (which holds its profile by reference).
     auto owned = std::make_shared<const WorkloadSpec>(spec);
@@ -245,6 +255,21 @@ workloadOpSources(const WorkloadSpec &spec)
         scope.forceParallel = pipeline;
         return std::make_unique<ThreadProgram>(wg.profile, tid - first,
                                                wg.nthreads, scope);
+    };
+}
+
+OpSourceFactory
+workloadGroupBaselineSources(const WorkloadSpec &spec, int group)
+{
+    if (group < 0 || group >= spec.ngroups())
+        throw std::out_of_range(
+            "workloadGroupBaselineSources: bad group index");
+    if (spec.wdlProgram)
+        return wdl::groupBaselineSources(spec, group);
+    auto owned = std::make_shared<const BenchmarkProfile>(
+        spec.groups[static_cast<std::size_t>(group)].profile);
+    return [owned](ThreadId tid, int n) -> std::unique_ptr<OpSource> {
+        return std::make_unique<ThreadProgram>(*owned, tid, n);
     };
 }
 

@@ -28,6 +28,7 @@
 #define SST_WORKLOAD_WORKLOAD_SPEC_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,10 @@
 #include "workload/profile.hh"
 
 namespace sst {
+
+namespace wdl {
+struct Program;
+} // namespace wdl
 
 /** How a workload's program groups relate to each other. */
 enum class WorkloadRole : std::uint8_t {
@@ -81,6 +86,19 @@ struct WorkloadSpec
 
     /** Optional display name (registry mixes keep their label). */
     std::string name;
+
+    /**
+     * Compiled WDL program backing this workload, or null for
+     * profile-backed workloads. When set, op streams, fingerprints and
+     * trace hashes come from the compiled IR; the groups' profiles are
+     * placeholders carrying only the per-group label, suite ("wdl") and
+     * seed (so JobSpec seed-offset mixing applies unchanged).
+     */
+    std::shared_ptr<const wdl::Program> wdlProgram;
+
+    /** Source path of the WDL file (spec re-serialization only; never
+     *  fingerprinted — content-identical files dedup to one entry). */
+    std::string wdlPath;
 
     /** The historical homogeneous configuration: @p nthreads threads
      *  all running @p profile. Bit-identical to the pre-WorkloadSpec
@@ -152,6 +170,16 @@ ThreadTopology topologyFor(WorkloadRole role,
  * ThreadProgram(profile, tid, nthreads) streams.
  */
 OpSourceFactory workloadOpSources(const WorkloadSpec &spec);
+
+/**
+ * 1-thread baseline op-source factory for group @p group of @p spec:
+ * ThreadProgram(profile, tid, nthreads) for profile-backed workloads
+ * (bit-identical to the historical baselines) and the sequential WDL
+ * program for WDL-backed ones. The driver and the trace recorder share
+ * this so generated and recorded baselines agree.
+ */
+OpSourceFactory workloadGroupBaselineSources(const WorkloadSpec &spec,
+                                             int group);
 
 } // namespace sst
 

@@ -277,13 +277,15 @@ TEST(Registries, SchedulerRegistryOrderMatchesEnum)
 TEST(Registries, OpSourceRegistryListsFrontends)
 {
     const auto &names = opSourceRegistry().names();
-    ASSERT_EQ(names.size(), 3u);
+    ASSERT_EQ(names.size(), 4u);
     EXPECT_EQ(names[0], "program");
     EXPECT_EQ(names[1], "trace");
     EXPECT_EQ(names[2], "pipeline");
+    EXPECT_EQ(names[3], "workload-file");
     EXPECT_TRUE(opSourceRegistry().at("trace").needsTraceDir);
     EXPECT_FALSE(opSourceRegistry().at("program").needsTraceDir);
     EXPECT_FALSE(opSourceRegistry().at("pipeline").needsTraceDir);
+    EXPECT_FALSE(opSourceRegistry().at("workload-file").needsTraceDir);
 }
 
 TEST(Registries, UnknownLabelsListValidNamesEverywhere)
